@@ -1,0 +1,311 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index),
+// plus ablations for the design choices the architecture documents.
+//
+// The figure benchmarks share a pair of 4-hour CityRuns (built once) and
+// measure the cost of regenerating each figure's analysis from the
+// measured corpus; the campaign-shaped benchmarks (Figs 2 and 4) run a
+// reduced campaign per iteration.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/surge"
+)
+
+var (
+	benchOnce sync.Once
+	benchMHTN *experiments.CityRun
+	benchSF   *experiments.CityRun
+)
+
+func benchRuns(b *testing.B) (*experiments.CityRun, *experiments.CityRun) {
+	b.Helper()
+	benchOnce.Do(func() {
+		opts := experiments.Options{Seed: 42, Hours: 4, Jitter: true}
+		benchMHTN = experiments.RunCity(sim.Manhattan(), opts)
+		benchSF = experiments.RunCity(sim.SanFrancisco(), opts)
+	})
+	return benchMHTN, benchSF
+}
+
+func BenchmarkFig02VisibilityRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig2VisibilityRadius(int64(i)+1, []int{12})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig04TaxiValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4TaxiValidation(int64(i)+1, 600, 9, 11)
+		if res.SupplyCapture <= 0 {
+			b.Fatal("no capture")
+		}
+	}
+}
+
+func BenchmarkFig07CarLifespans(b *testing.B) {
+	m, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := experiments.Fig7Lifespans(m, s)
+		if len(groups) != 4 {
+			b.Fatal("bad groups")
+		}
+	}
+}
+
+func BenchmarkFig08TimeSeries(b *testing.B) {
+	m, _ := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := experiments.Fig8TimeSeries(m)
+		_ = experiments.HourlyMean(fs.Surge)
+	}
+}
+
+func BenchmarkFig09_10Heatmaps(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Fig9_10Heatmaps(s)
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func BenchmarkFig11EWTDistribution(b *testing.B) {
+	m, _ := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := experiments.Fig11EWT(m)
+		_ = c.At(4)
+	}
+}
+
+func BenchmarkFig12SurgeDistribution(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := experiments.Fig12Surge(s)
+		_ = c.At(1)
+	}
+}
+
+func BenchmarkFig13SurgeDurations(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := experiments.Fig13SurgeDurations(s)
+		_ = d.Client.Len()
+	}
+}
+
+func BenchmarkFig14SurgeTimeline(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig14SurgeTimeline(s, 3600, 3600+1500)
+	}
+}
+
+func BenchmarkFig15UpdateTiming(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig15UpdateTiming(s)
+		_ = t.API.Len()
+	}
+}
+
+func BenchmarkFig16JitterMultipliers(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig16JitterMultipliers(s)
+	}
+}
+
+func BenchmarkFig17JitterSimultaneity(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig17JitterSimultaneity(s)
+	}
+}
+
+func BenchmarkFig18_19SurgeAreas(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := experiments.Fig18_19SurgeAreas(s)
+		if a.Map == nil {
+			b.Fatal("prober missing")
+		}
+	}
+}
+
+func BenchmarkFig20SupplyDemandCorrelation(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig20SupplyDemandCorrelation(s, 60)
+	}
+}
+
+func BenchmarkFig21EWTCorrelation(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig21EWTCorrelation(s, 60)
+	}
+}
+
+func BenchmarkTable1Forecasting(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1Forecasting(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig22Transitions(b *testing.B) {
+	m, _ := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Fig22Transitions(m)
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func BenchmarkFig23AvoidanceFeasibility(b *testing.B) {
+	m, _ := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := experiments.Fig23AvoidanceFeasibility(m)
+		if len(cl) == 0 {
+			b.Fatal("no clients")
+		}
+	}
+}
+
+func BenchmarkFig24AvoidanceSavings(b *testing.B) {
+	_, s := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig24AvoidanceSavings(s)
+	}
+}
+
+// BenchmarkBackendDay measures raw simulation throughput: one simulated
+// Manhattan hour per iteration (no measurement apparatus).
+func BenchmarkBackendDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWorld(sim.Config{Profile: sim.Manhattan(), Seed: int64(i) + 1})
+		e := surge.New(w, surge.Config{Params: sim.Manhattan().Surge, Seed: int64(i) + 1})
+		r := &surge.Runner{World: w, Engine: e}
+		r.RunUntil(3600)
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationTickRate compares the default 5-second tick against a
+// 1-second tick: the finer tick quintuples work without changing any
+// 5-minute observable.
+func BenchmarkAblationTickRate(b *testing.B) {
+	for _, tick := range []int64{1, 5} {
+		name := map[int64]string{1: "tick=1s", 5: "tick=5s"}[tick]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := sim.NewWorld(sim.Config{
+					Profile: sim.Manhattan(), Seed: 7, TickSeconds: tick,
+				})
+				w.Run(1800)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGridVsLinear compares the uniform-grid 8-nearest query
+// against a linear scan at the densities the backend serves.
+func BenchmarkAblationGridVsLinear(b *testing.B) {
+	const n = 600
+	rng := rand.New(rand.NewSource(3))
+	bounds := geo.NewRect(geo.Point{X: -2000, Y: -2000}, geo.Point{X: 2000, Y: 2000})
+	grid := geo.NewGrid(bounds, 250)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64()*4000 - 2000, Y: rng.Float64()*4000 - 2000}
+		grid.Insert(int64(i), pts[i])
+	}
+	query := func() geo.Point {
+		return geo.Point{X: rng.Float64()*4000 - 2000, Y: rng.Float64()*4000 - 2000}
+	}
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			grid.KNearest(query(), 8)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		type cand struct {
+			d  float64
+			id int
+		}
+		for i := 0; i < b.N; i++ {
+			q := query()
+			best := make([]cand, 0, 9)
+			for id, p := range pts {
+				d := geo.Dist(q, p)
+				// Insertion into a bounded sorted slice.
+				pos := len(best)
+				for pos > 0 && best[pos-1].d > d {
+					pos--
+				}
+				if pos < 8 {
+					if len(best) < 8 {
+						best = append(best, cand{})
+					}
+					copy(best[pos+1:], best[pos:])
+					best[pos] = cand{d: d, id: id}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationJitter measures the overhead of the jitter bug path in
+// the client stream.
+func BenchmarkAblationJitter(b *testing.B) {
+	for _, jitter := range []bool{false, true} {
+		name := map[bool]string{false: "jitter=off", true: "jitter=on"}[jitter]
+		b.Run(name, func(b *testing.B) {
+			w := sim.NewWorld(sim.Config{Profile: sim.SanFrancisco(), Seed: 5})
+			e := surge.New(w, surge.Config{Params: sim.SanFrancisco().Surge, Seed: 5, Jitter: jitter})
+			r := &surge.Runner{World: w, Engine: e}
+			r.RunUntil(3600)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ClientMultiplier("bench-client", i%4, w.Now())
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+// Command analyze replays a recorded measurement campaign (produced by
+// `measure -record`) through the analysis pipeline offline, the way the
+// paper's 996 GB corpus was analyzed after collection: supply/demand
+// series, EWT and surge distributions, surge durations, jitter events,
+// and the Table 1 forecasting fits.
+//
+// Usage:
+//
+//	analyze -in campaign.jsonl.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chart"
+	"repro/internal/forecast"
+	"repro/internal/measure"
+	"repro/internal/record"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	in := flag.String("in", "", "recording file (required)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: analyze -in campaign.jsonl.gz")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	// Peek the header first to size the dataset; then rewind and replay.
+	hdr, _, err := record.Replay(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	profile, err := profileByName(hdr.City)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	areas := profile.SurgeAreas()
+	clientAreas := make([]int, len(hdr.Clients))
+	for i, p := range hdr.Clients {
+		clientAreas[i] = sim.AreaOf(areas, p)
+	}
+	// Bound the series generously; the recording's last round sets the
+	// real extent.
+	ds := measure.NewDataset(measure.Config{
+		Profile:     profile,
+		Start:       hdr.Start,
+		End:         hdr.Start + 14*24*3600,
+		ClientAreas: clientAreas,
+	}, len(hdr.Clients))
+
+	hdr2, rounds, err := record.Replay(f, ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ds.Close()
+
+	fmt.Printf("recording: city=%s clients=%d rounds=%d\n", hdr2.City, len(hdr2.Clients), rounds)
+	printSeries(ds)
+	printDistributions(ds)
+	printSurgeAnalysis(ds, hdr.Start, hdr.Start+rounds*5)
+	printForecast(ds)
+}
+
+func profileByName(name string) (*sim.CityProfile, error) {
+	switch name {
+	case "manhattan":
+		return sim.Manhattan(), nil
+	case "sf":
+		return sim.SanFrancisco(), nil
+	default:
+		return nil, fmt.Errorf("unknown city %q in recording", name)
+	}
+}
+
+func printSeries(ds *measure.Dataset) {
+	fmt.Println("\nsupply / demand (per 5-minute interval):")
+	for _, vt := range measure.TrackedTypes {
+		s := mean(ds.SupplySeries(vt).Values)
+		d := mean(ds.DeathSeries(vt).Values)
+		fmt.Printf("  %-10s supply %.1f, deaths %.2f\n", vt, s, d)
+	}
+	if supply := trimNaN(ds.SupplySeries(measure.TrackedTypes[0]).Values); len(supply) > 2 {
+		fmt.Println("\nUberX supply over the recording:")
+		fmt.Print(chart.Line(supply, 72, 9))
+	}
+	if surge := trimNaN(ds.SurgeSeries().Values); len(surge) > 2 {
+		fmt.Println("\nmean surge over the recording:")
+		fmt.Print(chart.Line(surge, 72, 9))
+	}
+}
+
+// trimNaN removes the trailing never-written buckets of a generously
+// sized series.
+func trimNaN(xs []float64) []float64 {
+	end := len(xs)
+	for end > 0 && xs[end-1] != xs[end-1] {
+		end--
+	}
+	return xs[:end]
+}
+
+func printDistributions(ds *measure.Dataset) {
+	if len(ds.EWTSamples) > 0 {
+		c := stats.NewCDF(toF64(ds.EWTSamples))
+		fmt.Printf("\nEWT minutes: median %.2f  p90 %.2f  P(≤4min) %.1f%%\n",
+			c.Median(), c.Quantile(0.9), c.At(4)*100)
+	}
+	if len(ds.SurgeSamples) > 0 {
+		c := stats.NewCDF(toF64(ds.SurgeSamples))
+		fmt.Printf("surge: P(=1) %.1f%%  median %.2f  max %.1f\n",
+			c.At(1)*100, c.Median(), c.Quantile(1))
+	}
+}
+
+func printSurgeAnalysis(ds *measure.Dataset, start, end int64) {
+	var durations []float64
+	for _, log := range ds.Changes {
+		durations = append(durations, measure.SurgeDurations(log, 1, start, end)...)
+	}
+	if len(durations) > 0 {
+		c := stats.NewCDF(durations)
+		fmt.Printf("\nsurge durations: n=%d  P(<1min) %.1f%%  P(≤5min) %.1f%%  P(≤10min) %.1f%%\n",
+			len(durations), c.At(59)*100, c.At(300)*100, c.At(600)*100)
+	}
+	events := measure.ExtractJitter(ds.Changes)
+	fmt.Printf("jitter events: %d\n", len(events))
+	if len(events) > 0 {
+		counts := measure.SimultaneousJitter(events)
+		alone := 0
+		for _, c := range counts {
+			if c == 1 {
+				alone++
+			}
+		}
+		fmt.Printf("  observed by a single client: %.1f%%\n",
+			float64(alone)/float64(len(events))*100)
+	}
+}
+
+func printForecast(ds *measure.Dataset) {
+	table, samples, err := forecast.FitCity(ds)
+	if err != nil {
+		fmt.Printf("\nforecast: %v\n", err)
+		return
+	}
+	fmt.Printf("\nforecasting (n=%d samples):\n", len(samples))
+	for _, m := range []forecast.Model{table.Raw, table.Threshold, table.Rush} {
+		if m.N == 0 {
+			fmt.Printf("  %-10s (no data)\n", m.Name)
+			continue
+		}
+		fmt.Printf("  %-10s R²=%.3f  θ_sd-diff=%.4f θ_ewt=%.4f θ_prev=%.3f\n",
+			m.Name, m.R2, m.ThetaSDDiff, m.ThetaEWT, m.ThetaPrevSurge)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x == x {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func toF64(xs []float32) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

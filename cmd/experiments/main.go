@@ -1,0 +1,51 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation against the simulated backend and writes the Markdown report
+// (the content of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments -preamble -days 1 -seed 42 -out EXPERIMENTS.md
+//	experiments -hours 8            # quick pass, no preamble
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		days     = flag.Int("days", 1, "measurement days per city")
+		hours    = flag.Int("hours", 0, "override: measurement hours per city")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		preamble = flag.Bool("preamble", false, "prepend the EXPERIMENTS.md reading guide")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	if *preamble {
+		experiments.WritePreamble(w)
+	}
+	experiments.Report(w, experiments.Options{
+		Seed:   *seed,
+		Days:   *days,
+		Hours:  *hours,
+		Jitter: true,
+	})
+}

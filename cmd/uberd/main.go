@@ -1,0 +1,97 @@
+// Command uberd runs the simulated Uber backend over HTTP: the pingClient
+// stream and the estimates/price + estimates/time API, complete with surge
+// areas, the 5-minute surge clock, per-account rate limits, and
+// (optionally) the April 2015 jitter bug.
+//
+// The simulation clock advances in 5-second ticks at -speedup× real time,
+// so a measurement campaign (cmd/measure) can be pointed at it like the
+// paper's scripts were pointed at Uber.
+//
+// Usage:
+//
+//	uberd -city sf -addr :8080 -speedup 60 -jitter
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		city    = flag.String("city", "manhattan", "city profile: manhattan or sf")
+		addr    = flag.String("addr", ":8080", "listen address")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		jitter  = flag.Bool("jitter", false, "enable the April 2015 client-stream jitter bug")
+		speedup = flag.Float64("speedup", 60, "simulation seconds per wall-clock second")
+		warmup  = flag.Int64("warmup", 600, "simulation seconds to run before serving")
+	)
+	flag.Parse()
+
+	var profile *sim.CityProfile
+	switch *city {
+	case "manhattan", "mhtn", "nyc":
+		profile = sim.Manhattan()
+	case "sf", "sanfrancisco":
+		profile = sim.SanFrancisco()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown city %q (want manhattan or sf)\n", *city)
+		os.Exit(2)
+	}
+	if *speedup <= 0 {
+		fmt.Fprintln(os.Stderr, "-speedup must be positive")
+		os.Exit(2)
+	}
+
+	svc := api.NewBackend(profile, *seed, *jitter)
+	svc.RunUntil(*warmup)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Advance the simulation in real time until shutdown.
+	tick := svc.World().TickSeconds()
+	interval := time.Duration(float64(tick) / *speedup * float64(time.Second))
+	ticker := time.NewTicker(interval)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				svc.Step()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: api.NewServer(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	log.Printf("uberd: serving %s on %s (seed %d, jitter %v, %gx speedup, sim t=%d)",
+		profile.Name, *addr, *seed, *jitter, *speedup, svc.Now())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("uberd: shutting down (sim t=%d)", svc.Now())
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("uberd: shutdown: %v", err)
+		}
+	}
+}

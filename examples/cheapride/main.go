@@ -1,0 +1,52 @@
+// Cheapride: the §6 surge-avoidance strategy as a passenger-facing tool.
+// Stand near Times Square during a surging evening, query the adjacent
+// surge areas through the public API, and when one offers a lower
+// multiplier reachable on foot before the car would arrive, report the
+// cheaper pickup plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/api"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+func main() {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 21, false)
+	svc.Register("rider")
+	advisor := strategy.NewAdvisor(svc, "rider", profile)
+
+	// Times Square corner, ~200 m from two surge-area boundaries.
+	pos := geo.Point{X: -120, Y: 280}
+
+	// Scan Monday 4pm - midnight, once per 5-minute interval.
+	svc.RunUntil(16 * 3600)
+	checks, wins := 0, 0
+	var bestSaving float64
+	for svc.Now() < 24*3600 {
+		svc.RunUntil(svc.Now()/300*300 + 300 + 150) // mid-interval
+		adv, err := advisor.Advise(pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checks++
+		if adv.Best == nil {
+			continue
+		}
+		wins++
+		if adv.Savings() > bestSaving {
+			bestSaving = adv.Savings()
+		}
+		fmt.Printf("%02d:%02d  surge here %.1f -> area %d offers %.1f; walk %.1f min (car arrives in %.1f min)\n",
+			svc.Now()/3600%24, svc.Now()/60%60,
+			adv.CurrentSurge, adv.Best.Area, adv.Best.Surge,
+			adv.Best.WalkSeconds/60, adv.Best.EWTSeconds/60)
+	}
+	fmt.Printf("\nchecked %d intervals: cheaper pickup available %d times (%.0f%%), best saving %.1fx\n",
+		checks, wins, float64(wins)/float64(checks)*100, bestSaving)
+}

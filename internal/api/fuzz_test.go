@@ -1,0 +1,85 @@
+package api
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+func TestLocationFuzzBounded(t *testing.T) {
+	s := testBackend(t, false)
+	loc := center(s)
+	clean, err := s.PingClient("tester", loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLocationFuzz(25)
+	fuzzed, err := s.PingClient("tester", loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := s.World().Projection()
+	cx, fx := clean.Status(core.UberX), fuzzed.Status(core.UberX)
+	if len(cx.Cars) != len(fx.Cars) {
+		t.Fatalf("car counts differ: %d vs %d", len(cx.Cars), len(fx.Cars))
+	}
+	moved := 0
+	for i := range cx.Cars {
+		if cx.Cars[i].ID != fx.Cars[i].ID {
+			t.Fatalf("fuzz must not change car identity or order")
+		}
+		d := geo.Dist(proj.ToPlane(cx.Cars[i].Pos), proj.ToPlane(fx.Cars[i].Pos))
+		if d > 25.01 {
+			t.Errorf("car %d displaced %.1f m, cap is 25", i, d)
+		}
+		if d > 0.5 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("fuzz had no effect")
+	}
+}
+
+func TestLocationFuzzDeterministicAcrossClients(t *testing.T) {
+	// The §3.4 calibration finding must survive perturbation: co-located
+	// clients see identical (fuzzed) positions.
+	s := testBackend(t, false)
+	s.SetLocationFuzz(25)
+	s.Register("other")
+	loc := center(s)
+	a, err := s.PingClient("tester", loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.PingClient("other", loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Status(core.UberX).Cars, b.Status(core.UberX).Cars
+	if len(ca) != len(cb) {
+		t.Fatal("car counts differ")
+	}
+	for i := range ca {
+		if ca[i].ID != cb[i].ID || ca[i].Pos != cb[i].Pos {
+			t.Fatalf("co-located clients disagree at %d: %+v vs %+v", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestLocationFuzzStableWithinWindow(t *testing.T) {
+	// Within a 30-second window the same car keeps the same perturbed
+	// position (no artificial motion).
+	s := testBackend(t, false)
+	s.SetLocationFuzz(25)
+	p := s.fuzzPos("car-x", 990, center(s))
+	q := s.fuzzPos("car-x", 1015, center(s)) // same 30 s window [990,1020)
+	r := s.fuzzPos("car-x", 1020, center(s)) // next window
+	if p != q {
+		t.Error("perturbation changed within a window")
+	}
+	if p == r {
+		t.Error("perturbation never re-rolls")
+	}
+}

@@ -1,0 +1,139 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// Server exposes a Service over HTTP with the endpoint shapes the paper
+// scripts against:
+//
+//	POST /login            {"client_id": "..."}        -> {"ok": true}
+//	GET  /pingClient       ?client=...&lat=..&lng=..   -> core.PingResponse
+//	GET  /estimates/price  ?client=...&lat=..&lng=..   -> []core.PriceEstimate
+//	GET  /estimates/time   ?client=...&lat=..&lng=..   -> []core.TimeEstimate
+//	GET  /health                                       -> {"time": <sim seconds>}
+//
+// The HTTP layer is a thin shell: all behaviour (jitter, rate limits,
+// visibility) lives in Service so the in-process and HTTP paths cannot
+// diverge.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps svc in an HTTP handler.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /login", s.handleLogin)
+	s.mux.HandleFunc("GET /pingClient", s.handlePing)
+	s.mux.HandleFunc("GET /estimates/price", s.handlePrice)
+	s.mux.HandleFunc("GET /estimates/time", s.handleTime)
+	s.mux.HandleFunc("GET /health", s.handleHealth)
+	s.mux.HandleFunc("POST /partner/login", s.handlePartnerLogin)
+	s.mux.HandleFunc("GET /partner/surgeMap", s.handlePartnerMap)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownAccount):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrRateLimited):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrOutOfService):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		ClientID string `json:"client_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.ClientID == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "client_id required"})
+		return
+	}
+	s.svc.Register(body.ClientID)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// queryArgs extracts the client id and location common to all GET
+// endpoints.
+func queryArgs(r *http.Request) (string, geo.LatLng, error) {
+	q := r.URL.Query()
+	client := q.Get("client")
+	if client == "" {
+		return "", geo.LatLng{}, errors.New("client parameter required")
+	}
+	lat, err := strconv.ParseFloat(q.Get("lat"), 64)
+	if err != nil {
+		return "", geo.LatLng{}, errors.New("lat parameter invalid")
+	}
+	lng, err := strconv.ParseFloat(q.Get("lng"), 64)
+	if err != nil {
+		return "", geo.LatLng{}, errors.New("lng parameter invalid")
+	}
+	return client, geo.LatLng{Lat: lat, Lng: lng}, nil
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	client, loc, err := queryArgs(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp, err := s.svc.PingClient(client, loc)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	client, loc, err := queryArgs(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp, err := s.svc.EstimatePrice(client, loc)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
+	client, loc, err := queryArgs(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp, err := s.svc.EstimateTime(client, loc)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int64{"time": s.svc.Now()})
+}

@@ -1,0 +1,119 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// Remote is a core.Service backed by a Server over HTTP: what cmd/measure
+// uses to run a campaign against a separately running cmd/uberd, mirroring
+// the paper's setup of measurement scripts talking to a remote service.
+type Remote struct {
+	base string
+	hc   *http.Client
+}
+
+var _ core.Service = (*Remote)(nil)
+
+// NewRemote returns a client for the service at base (e.g.
+// "http://localhost:8080"). It does not dial until the first call.
+func NewRemote(base string, hc *http.Client) *Remote {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Remote{base: base, hc: hc}
+}
+
+// Register creates the account on the remote service.
+func (r *Remote) Register(clientID string) error {
+	body, _ := json.Marshal(map[string]string{"client_id": clientID})
+	resp, err := r.hc.Post(r.base+"/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("api: login: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("api: login: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (r *Remote) get(path, clientID string, loc geo.LatLng, out any) error {
+	u := fmt.Sprintf("%s%s?client=%s&lat=%.7f&lng=%.7f",
+		r.base, path, url.QueryEscape(clientID), loc.Lat, loc.Lng)
+	resp, err := r.hc.Get(u)
+	if err != nil {
+		return fmt.Errorf("api: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusUnauthorized:
+		return ErrUnknownAccount
+	case http.StatusTooManyRequests:
+		return ErrRateLimited
+	case http.StatusNotFound:
+		return ErrOutOfService
+	default:
+		return fmt.Errorf("api: GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PingClient implements core.Service over the wire.
+func (r *Remote) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
+	var resp core.PingResponse
+	if err := r.get("/pingClient", clientID, loc, &resp); err != nil {
+		return nil, err
+	}
+	// TypeName travels on the wire; rebuild the enum for local use.
+	for i := range resp.Types {
+		vt, err := core.ParseVehicleType(resp.Types[i].TypeName)
+		if err != nil {
+			return nil, fmt.Errorf("api: bad type in response: %w", err)
+		}
+		resp.Types[i].Type = vt
+	}
+	return &resp, nil
+}
+
+// EstimatePrice implements core.Service over the wire.
+func (r *Remote) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEstimate, error) {
+	var out []core.PriceEstimate
+	if err := r.get("/estimates/price", clientID, loc, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EstimateTime implements core.Service over the wire.
+func (r *Remote) EstimateTime(clientID string, loc geo.LatLng) ([]core.TimeEstimate, error) {
+	var out []core.TimeEstimate
+	if err := r.get("/estimates/time", clientID, loc, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Now returns the remote backend's simulation time (0 on error, matching
+// an unreachable backend at epoch).
+func (r *Remote) Now() int64 {
+	resp, err := r.hc.Get(r.base + "/health")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Time int64 `json:"time"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0
+	}
+	return body.Time
+}

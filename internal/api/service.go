@@ -1,0 +1,284 @@
+// Package api implements the emulated Uber service surface: the
+// pingClient stream the smartphone app consumes every five seconds, and
+// the estimates/price + estimates/time HTTP API endpoints with their
+// 1,000 requests/hour/account rate limit (§3.2, §3.3).
+//
+// Service implements core.Service in-process (how the experiment harness
+// drives it, at simulation speed); Server exposes the same service over
+// HTTP for cmd/uberd.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/surge"
+)
+
+// RateLimitPerHour is Uber's documented API rate limit per user account.
+const RateLimitPerHour = 1000
+
+// Errors returned by the service.
+var (
+	ErrUnknownAccount = errors.New("api: unknown account")
+	ErrRateLimited    = errors.New("api: rate limit exceeded")
+	ErrOutOfService   = errors.New("api: location outside service region")
+)
+
+// account tracks one registered user's API usage.
+type account struct {
+	hourBucket int64
+	calls      int
+}
+
+// Service answers client and API queries against a running backend.
+// All methods are safe for concurrent use.
+type Service struct {
+	mu     sync.Mutex
+	world  *sim.World
+	engine *surge.Engine
+	fares  map[core.VehicleType]core.FareSchedule
+
+	accounts map[string]*account
+	partners map[string]bool
+
+	// locationFuzz perturbs reported car positions (§3.3: Uber stated
+	// car locations "may be slightly perturbed to protect drivers'
+	// safety"). 0 disables. The perturbation is deterministic per
+	// (car, 30-second window) so co-located clients still agree.
+	locationFuzz float64
+
+	// offered products (fleet share > 0), precomputed.
+	offered []core.VehicleType
+}
+
+var _ core.Service = (*Service)(nil)
+
+// NewService wraps a world/engine pair. Accounts must be registered before
+// they can query (the paper created 43 credit-card-backed accounts).
+func NewService(w *sim.World, e *surge.Engine) *Service {
+	s := &Service{
+		world:    w,
+		engine:   e,
+		fares:    core.DefaultFares(),
+		accounts: make(map[string]*account),
+		partners: make(map[string]bool),
+	}
+	shares := sim.NormalizedShares(w.Profile().FleetShare)
+	for _, vt := range core.AllVehicleTypes() {
+		if shares[int(vt)] > 0 {
+			s.offered = append(s.offered, vt)
+		}
+	}
+	return s
+}
+
+// Register creates an account for clientID; registering twice is a no-op.
+func (s *Service) Register(clientID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[clientID]; !ok {
+		s.accounts[clientID] = &account{}
+	}
+}
+
+// Accounts returns the number of registered accounts.
+func (s *Service) Accounts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.accounts)
+}
+
+// Step advances the backend one tick. Exposed so a real-time shell
+// (cmd/uberd) and the measurement campaign can drive the same instance.
+func (s *Service) Step() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.world.Step()
+	s.engine.Step(s.world.Now())
+}
+
+// RunUntil advances the backend to simulation time end.
+func (s *Service) RunUntil(end int64) {
+	for s.Now() < end {
+		s.Step()
+	}
+}
+
+// Now returns the backend's simulation time.
+func (s *Service) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.world.Now()
+}
+
+// World exposes the underlying world for ground-truth validation in tests
+// and experiments. Production callers use only core.Service.
+func (s *Service) World() *sim.World { return s.world }
+
+// Engine exposes the surge engine for ground-truth validation.
+func (s *Service) Engine() *surge.Engine { return s.engine }
+
+// auth validates the account without rate limiting (pingClient is not
+// rate limited: the app itself pings every 5 seconds, §3.3).
+func (s *Service) auth(clientID string) (*account, error) {
+	a, ok := s.accounts[clientID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAccount, clientID)
+	}
+	return a, nil
+}
+
+// authLimited validates the account and charges one API call against the
+// hourly rate limit.
+func (s *Service) authLimited(clientID string) error {
+	a, err := s.auth(clientID)
+	if err != nil {
+		return err
+	}
+	bucket := s.world.Now() / 3600
+	if a.hourBucket != bucket {
+		a.hourBucket = bucket
+		a.calls = 0
+	}
+	if a.calls >= RateLimitPerHour {
+		return ErrRateLimited
+	}
+	a.calls++
+	return nil
+}
+
+// PingClient emulates the Client app's 5-second ping: for each offered
+// product it returns the eight nearest available cars (randomized session
+// IDs and path vectors), the EWT, and the surge multiplier — including,
+// when the April bug is active, per-client jitter.
+func (s *Service) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.auth(clientID); err != nil {
+		return nil, err
+	}
+	p := s.world.Projection().ToPlane(loc)
+	if !s.world.Profile().Region.Contains(p) {
+		return nil, ErrOutOfService
+	}
+	area := sim.AreaOf(s.world.Areas(), p)
+	now := s.world.Now()
+	resp := &core.PingResponse{Time: now}
+	for _, vt := range s.offered {
+		st := core.TypeStatus{
+			Type:       vt,
+			TypeName:   vt.String(),
+			Cars:       s.world.NearestCars(vt, p, core.MaxVisibleCars),
+			EWTSeconds: s.world.EWT(vt, p),
+			Surge:      1,
+		}
+		if vt.Surgeable() {
+			st.Surge = s.engine.ClientMultiplier(clientID, area, now)
+		}
+		if s.locationFuzz > 0 {
+			for i := range st.Cars {
+				st.Cars[i].Pos = s.fuzzPos(st.Cars[i].ID, now, st.Cars[i].Pos)
+			}
+		}
+		resp.Types = append(resp.Types, st)
+	}
+	return resp, nil
+}
+
+// SetLocationFuzz enables deterministic perturbation of reported car
+// positions by up to meters.
+func (s *Service) SetLocationFuzz(meters float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locationFuzz = meters
+}
+
+// fuzzPos displaces a reported position inside a disc of radius
+// locationFuzz, deterministically per (car, 30-second window).
+func (s *Service) fuzzPos(carID string, now int64, ll geo.LatLng) geo.LatLng {
+	h := fnv.New64a()
+	h.Write([]byte(carID))
+	var buf [8]byte
+	w := now / 30
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(w >> (8 * i))
+	}
+	h.Write(buf[:])
+	v := h.Sum64()
+	ang := float64(v&0xFFFF) / 65536 * 2 * math.Pi
+	rad := math.Sqrt(float64(v>>16&0xFFFF)/65536) * s.locationFuzz
+	proj := s.world.Projection()
+	p := proj.ToPlane(ll)
+	return proj.ToLatLng(geo.Point{X: p.X + rad*math.Cos(ang), Y: p.Y + rad*math.Sin(ang)})
+}
+
+// EstimatePrice emulates the estimates/price endpoint: fare ranges for a
+// nominal 5 km / 15 minute trip under the current API-stream surge
+// multiplier (no jitter), rate limited per account.
+func (s *Service) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEstimate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.authLimited(clientID); err != nil {
+		return nil, err
+	}
+	p := s.world.Projection().ToPlane(loc)
+	if !s.world.Profile().Region.Contains(p) {
+		return nil, ErrOutOfService
+	}
+	area := sim.AreaOf(s.world.Areas(), p)
+	now := s.world.Now()
+	out := make([]core.PriceEstimate, 0, len(s.offered))
+	for _, vt := range s.offered {
+		m := 1.0
+		if vt.Surgeable() {
+			m = s.engine.APIMultiplier(area, now)
+		}
+		const nominalMeters, nominalSeconds = 5000.0, 900.0
+		mid := s.fares[vt].Fare(nominalMeters, nominalSeconds, m)
+		out = append(out, core.PriceEstimate{
+			TypeName: vt.String(),
+			Surge:    m,
+			LowUSD:   mid * 0.8,
+			HighUSD:  mid * 1.2,
+			Currency: "USD",
+		})
+	}
+	return out, nil
+}
+
+// EstimateTime emulates the estimates/time endpoint: EWT per product,
+// rate limited per account.
+func (s *Service) EstimateTime(clientID string, loc geo.LatLng) ([]core.TimeEstimate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.authLimited(clientID); err != nil {
+		return nil, err
+	}
+	p := s.world.Projection().ToPlane(loc)
+	if !s.world.Profile().Region.Contains(p) {
+		return nil, ErrOutOfService
+	}
+	out := make([]core.TimeEstimate, 0, len(s.offered))
+	for _, vt := range s.offered {
+		out = append(out, core.TimeEstimate{
+			TypeName:   vt.String(),
+			EWTSeconds: s.world.EWT(vt, p),
+		})
+	}
+	return out, nil
+}
+
+// NewBackend is a convenience constructor: build the world, engine, and
+// service for a city profile in one call.
+func NewBackend(profile *sim.CityProfile, seed int64, jitter bool) *Service {
+	w := sim.NewWorld(sim.Config{Profile: profile, Seed: seed})
+	e := surge.New(w, surge.Config{Params: profile.Surge, Seed: seed, Jitter: jitter})
+	return NewService(w, e)
+}

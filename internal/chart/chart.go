@@ -1,0 +1,147 @@
+// Package chart renders time series and CDFs as plain-text plots for
+// EXPERIMENTS.md and the CLI tools — the closest an offline, stdlib-only
+// reproduction gets to the paper's figures.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line renders one series as an ASCII line chart of the given width and
+// height. NaN values are gaps. Values are bucket-averaged down to width
+// columns. The y-axis is annotated with the min and max.
+func Line(values []float64, width, height int) string {
+	return Lines([][]float64{values}, width, height, nil)
+}
+
+// Lines overlays several aligned series. Each series is drawn with its
+// own glyph ('*', 'o', '+', 'x', ...); labels, when provided, produce a
+// legend line.
+func Lines(series [][]float64, width, height int, labels []string) string {
+	if len(series) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Downsample every series to width columns.
+	cols := make([][]float64, len(series))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		cols[si] = downsample(s, width)
+		for _, v := range cols[si] {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si := range cols {
+		g := glyphs[si%len(glyphs)]
+		for c, v := range cols[si] {
+			if math.IsNaN(v) {
+				continue
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][c] = g
+		}
+	}
+
+	var sb strings.Builder
+	yTop := fmt.Sprintf("%.2f", hi)
+	yBot := fmt.Sprintf("%.2f", lo)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%*s |", pad, yTop)
+		case height - 1:
+			fmt.Fprintf(&sb, "%*s |", pad, yBot)
+		default:
+			fmt.Fprintf(&sb, "%*s |", pad, "")
+		}
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%*s +%s\n", pad, "", strings.Repeat("-", width))
+	if len(labels) > 0 {
+		fmt.Fprintf(&sb, "%*s  ", pad, "")
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%c=%s", glyphs[i%len(glyphs)], l)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// downsample averages values into n buckets, propagating NaN only for
+// fully empty buckets.
+func downsample(values []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		var sum float64
+		cnt := 0
+		for _, v := range values[lo:hi] {
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			cnt++
+		}
+		if cnt == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// CDF renders an empirical CDF (quantile curve sampled at width points)
+// with P on the y-axis.
+func CDF(quantile func(float64) float64, width, height int) string {
+	xs := make([]float64, width)
+	for i := range xs {
+		xs[i] = quantile(float64(i) / float64(width-1))
+	}
+	return Line(xs, width, height)
+}

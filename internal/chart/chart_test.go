@@ -1,0 +1,110 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasicShape(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	out := Line(values, 40, 10)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // 10 rows + axis
+		t.Fatalf("lines = %d, want 11", len(lines))
+	}
+	// Monotone series: first data row has the glyph near the right, last
+	// near the left.
+	top, bottom := lines[0], lines[9]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatal("glyphs missing")
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Error("rising series should place top glyphs to the right of bottom glyphs")
+	}
+	// Axis annotations (bucket averages: 100 values into 40 columns).
+	if !strings.Contains(top, "98.00") || !strings.Contains(bottom, "0.50") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLinesLegendAndOverlay(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	out := Lines([][]float64{a, b}, 20, 6, []string{"up", "down"})
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("second series glyph missing")
+	}
+}
+
+func TestLineHandlesNaNAndEmpty(t *testing.T) {
+	if Line(nil, 20, 5) != "" {
+		t.Error("empty series should render empty")
+	}
+	allNaN := []float64{math.NaN(), math.NaN()}
+	if Line(allNaN, 20, 5) != "" {
+		t.Error("all-NaN series should render empty")
+	}
+	mixed := []float64{1, math.NaN(), 3, math.NaN(), 5}
+	out := Line(mixed, 10, 4)
+	if out == "" {
+		t.Error("mixed series should render")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out := Line([]float64{2, 2, 2, 2}, 10, 4)
+	if out == "" {
+		t.Fatal("constant series should render")
+	}
+	if !strings.Contains(out, "2.00") {
+		t.Errorf("axis missing value:\n%s", out)
+	}
+}
+
+func TestDegenerateDimensions(t *testing.T) {
+	if Lines([][]float64{{1, 2}}, 1, 5, nil) != "" {
+		t.Error("width < 2 should render empty")
+	}
+	if Lines([][]float64{{1, 2}}, 5, 1, nil) != "" {
+		t.Error("height < 2 should render empty")
+	}
+	if Lines(nil, 5, 5, nil) != "" {
+		t.Error("no series should render empty")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	v := []float64{1, 1, 3, 3}
+	out := downsample(v, 2)
+	if out[0] != 1 || out[1] != 3 {
+		t.Errorf("downsample = %v", out)
+	}
+	// Upsampling repeats values without NaN.
+	out = downsample([]float64{5}, 3)
+	for _, x := range out {
+		if x != 5 {
+			t.Errorf("upsample = %v", out)
+		}
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	q := func(p float64) float64 { return p * p } // convex quantile curve
+	out := CDF(q, 30, 8)
+	if out == "" {
+		t.Fatal("empty CDF plot")
+	}
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("axis wrong:\n%s", out)
+	}
+}

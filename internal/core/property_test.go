@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func posConfig(n int) *quick.Config {
+	return &quick.Config{
+		MaxCount: n,
+		Values: func(vs []reflect.Value, rng *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(rng.Float64() * 20000)
+			}
+		},
+	}
+}
+
+// Fare is monotone non-decreasing in distance, duration, and surge.
+func TestFareMonotoneProperty(t *testing.T) {
+	fares := DefaultFares()
+	f := func(m1, m2, s1, s2, g1, g2 float64) bool {
+		for _, sched := range fares {
+			dLo, dHi := math.Min(m1, m2), math.Max(m1, m2)
+			tLo, tHi := math.Min(s1, s2), math.Max(s1, s2)
+			gLo := 1 + math.Min(g1, g2)/10000
+			gHi := 1 + math.Max(g1, g2)/10000
+			if sched.Fare(dHi, tLo, gLo) < sched.Fare(dLo, tLo, gLo)-1e-9 {
+				return false
+			}
+			if sched.Fare(dLo, tHi, gLo) < sched.Fare(dLo, tLo, gLo)-1e-9 {
+				return false
+			}
+			if sched.Fare(dLo, tLo, gHi) < sched.Fare(dLo, tLo, gLo)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, posConfig(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fare never goes below the minimum plus the booking fee.
+func TestFareFloorProperty(t *testing.T) {
+	f := func(meters, seconds, surge float64) bool {
+		for _, sched := range DefaultFares() {
+			got := sched.Fare(meters, seconds, 1+surge/10000)
+			if got < sched.MinimumUSD+sched.BookingFeeUSD-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, posConfig(60)); err != nil {
+		t.Error(err)
+	}
+}

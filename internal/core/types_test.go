@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestVehicleTypeStringRoundTrip(t *testing.T) {
+	for _, v := range AllVehicleTypes() {
+		got, err := ParseVehicleType(v.String())
+		if err != nil {
+			t.Fatalf("ParseVehicleType(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %q -> %v", v, v.String(), got)
+		}
+	}
+	if _, err := ParseVehicleType("uberWARP"); err == nil {
+		t.Error("unknown type should error")
+	}
+	if s := VehicleType(99).String(); s != "VehicleType(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestAllVehicleTypesCount(t *testing.T) {
+	if len(AllVehicleTypes()) != NumVehicleTypes {
+		t.Errorf("len = %d, want %d", len(AllVehicleTypes()), NumVehicleTypes)
+	}
+	if NumVehicleTypes != 9 {
+		t.Errorf("expected the paper's 9 products, got %d", NumVehicleTypes)
+	}
+}
+
+func TestSurgeable(t *testing.T) {
+	if UberT.Surgeable() {
+		t.Error("UberT must not surge (§4.2)")
+	}
+	for _, v := range []VehicleType{UberX, UberXL, UberBLACK, UberSUV, UberPOOL} {
+		if !v.Surgeable() {
+			t.Errorf("%v should surge", v)
+		}
+	}
+}
+
+func TestPingResponseStatus(t *testing.T) {
+	r := &PingResponse{Types: []TypeStatus{
+		{Type: UberX, Surge: 1.5},
+		{Type: UberBLACK, Surge: 1.0},
+	}}
+	if s := r.Status(UberX); s == nil || s.Surge != 1.5 {
+		t.Errorf("Status(UberX) = %+v", s)
+	}
+	if s := r.Status(UberSUV); s != nil {
+		t.Errorf("Status(UberSUV) should be nil, got %+v", s)
+	}
+}
+
+func TestFareScheduleBasics(t *testing.T) {
+	f := FareSchedule{BaseUSD: 2, PerMileUSD: 1, PerMinuteUSD: 0.5, MinimumUSD: 5}
+	// Long trip: 2 miles, 10 minutes, no surge: 2 + 2 + 5 = 9.
+	got := f.Fare(2*1609.344, 600, 1.0)
+	if math.Abs(got-9) > 1e-9 {
+		t.Errorf("Fare = %v, want 9", got)
+	}
+	// Surge doubles the metered part.
+	got = f.Fare(2*1609.344, 600, 2.0)
+	if math.Abs(got-18) > 1e-9 {
+		t.Errorf("surged Fare = %v, want 18", got)
+	}
+	// Minimum applies to short trips.
+	got = f.Fare(100, 60, 1.0)
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("minimum Fare = %v, want 5", got)
+	}
+	// Surge below 1 is clamped to 1.
+	got = f.Fare(100, 60, 0.5)
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("clamped Fare = %v, want 5", got)
+	}
+}
+
+func TestFareBookingFeeNotSurged(t *testing.T) {
+	f := FareSchedule{BaseUSD: 4, PerMileUSD: 0, PerMinuteUSD: 0, BookingFeeUSD: 1}
+	base := f.Fare(0, 0, 1)
+	surged := f.Fare(0, 0, 3)
+	if math.Abs(base-5) > 1e-9 {
+		t.Errorf("base = %v, want 5", base)
+	}
+	// 4*3 + 1 = 13: fee excluded from the multiplier.
+	if math.Abs(surged-13) > 1e-9 {
+		t.Errorf("surged = %v, want 13", surged)
+	}
+}
+
+func TestDefaultFaresCoverAllTypes(t *testing.T) {
+	fares := DefaultFares()
+	for _, v := range AllVehicleTypes() {
+		f, ok := fares[v]
+		if !ok {
+			t.Errorf("no fare for %v", v)
+			continue
+		}
+		if f.Fare(5000, 900, 1) <= 0 {
+			t.Errorf("non-positive fare for %v", v)
+		}
+	}
+	// Luxury products must cost more than UberX for the same trip.
+	x := fares[UberX].Fare(8000, 1200, 1)
+	black := fares[UberBLACK].Fare(8000, 1200, 1)
+	suv := fares[UberSUV].Fare(8000, 1200, 1)
+	if !(x < black && black < suv) {
+		t.Errorf("fare ordering wrong: X=%v BLACK=%v SUV=%v", x, black, suv)
+	}
+}
+
+func TestCarViewZeroValue(t *testing.T) {
+	var cv CarView
+	if cv.ID != "" || cv.Path != nil || cv.Pos != (geo.LatLng{}) {
+		t.Error("zero CarView should be empty")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestHeatmapASCII(t *testing.T) {
+	cells := []HeatCell{
+		{Pos: geo.Point{X: 0, Y: 0}, CarsPerDay: 0},
+		{Pos: geo.Point{X: 100, Y: 0}, CarsPerDay: 50},
+		{Pos: geo.Point{X: 0, Y: 100}, CarsPerDay: 100},
+		{Pos: geo.Point{X: 100, Y: 100}, CarsPerDay: 100},
+	}
+	out := HeatmapASCII(cells, func(c HeatCell) float64 { return c.CarsPerDay })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", len(lines), out)
+	}
+	// North (y=100) first: both max -> '@'.
+	if lines[0] != "@@" {
+		t.Errorf("top row = %q, want \"@@\"", lines[0])
+	}
+	// South row: min then mid.
+	if lines[1][0] != ' ' {
+		t.Errorf("bottom-left = %q, want space (min)", string(lines[1][0]))
+	}
+	if lines[1][1] == ' ' || lines[1][1] == '@' {
+		t.Errorf("bottom-right = %q, want a mid shade", string(lines[1][1]))
+	}
+}
+
+func TestHeatmapASCIIEmptyAndUniform(t *testing.T) {
+	if HeatmapASCII(nil, func(HeatCell) float64 { return 0 }) != "" {
+		t.Error("empty cells should render empty")
+	}
+	cells := []HeatCell{
+		{Pos: geo.Point{X: 0, Y: 0}, CarsPerDay: 7},
+		{Pos: geo.Point{X: 100, Y: 0}, CarsPerDay: 7},
+	}
+	out := HeatmapASCII(cells, func(c HeatCell) float64 { return c.CarsPerDay })
+	// Uniform field: all minimum shade, no panic on hi==lo.
+	if strings.TrimRight(out, "\n") != "  " {
+		t.Errorf("uniform render = %q", out)
+	}
+}

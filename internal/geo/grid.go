@@ -1,0 +1,248 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform-grid spatial index over moving points, used by the
+// service to answer the "eight closest cars" query that drives pingClient.
+//
+// Cars churn constantly (every tick moves most of them), so the index must
+// support cheap updates; a uniform grid with per-cell slices makes Move an
+// O(1) amortized operation and KNearest an expanding ring search. The zero
+// value is not usable; call NewGrid.
+type Grid struct {
+	bounds   Rect
+	cellSize float64
+	nx, ny   int
+	cells    [][]int64       // cell index -> ids
+	pos      map[int64]Point // id -> position
+	cellOf   map[int64]int   // id -> cell index
+}
+
+// NewGrid creates an index covering bounds with square cells of the given
+// size. Points outside bounds are clamped into the boundary cells, so the
+// index tolerates cars that wander slightly outside the measurement region
+// (as the paper's edge-filtering logic expects).
+func NewGrid(bounds Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geo: NewGrid cellSize must be positive")
+	}
+	nx := int(math.Ceil(bounds.Width()/cellSize)) + 1
+	ny := int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		nx:       nx,
+		ny:       ny,
+		cells:    make([][]int64, nx*ny),
+		pos:      make(map[int64]Point),
+		cellOf:   make(map[int64]int),
+	}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pos) }
+
+func (g *Grid) cellIndex(p Point) int {
+	cx := int((p.X - g.bounds.Min.X) / g.cellSize)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cy*g.nx + cx
+}
+
+// Insert adds id at p. Inserting an existing id moves it.
+func (g *Grid) Insert(id int64, p Point) {
+	if _, ok := g.pos[id]; ok {
+		g.Move(id, p)
+		return
+	}
+	ci := g.cellIndex(p)
+	g.cells[ci] = append(g.cells[ci], id)
+	g.pos[id] = p
+	g.cellOf[id] = ci
+}
+
+// Remove deletes id from the index. Removing an absent id is a no-op.
+func (g *Grid) Remove(id int64) {
+	ci, ok := g.cellOf[id]
+	if !ok {
+		return
+	}
+	cell := g.cells[ci]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[ci] = cell[:len(cell)-1]
+			break
+		}
+	}
+	delete(g.pos, id)
+	delete(g.cellOf, id)
+}
+
+// Move updates id's position, relocating it between cells only when needed.
+func (g *Grid) Move(id int64, p Point) {
+	old, ok := g.cellOf[id]
+	if !ok {
+		g.Insert(id, p)
+		return
+	}
+	ni := g.cellIndex(p)
+	g.pos[id] = p
+	if ni == old {
+		return
+	}
+	cell := g.cells[old]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[old] = cell[:len(cell)-1]
+			break
+		}
+	}
+	g.cells[ni] = append(g.cells[ni], id)
+	g.cellOf[id] = ni
+}
+
+// Position returns the stored position of id.
+func (g *Grid) Position(id int64) (Point, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Neighbor is a k-nearest query result.
+type Neighbor struct {
+	ID   int64
+	Pos  Point
+	Dist float64
+}
+
+// KNearest returns up to k indexed points closest to from, sorted by
+// ascending distance (ties broken by id for determinism). It expands the
+// searched ring of cells until the nearest unexplored cell cannot contain a
+// closer point than the current k-th best.
+func (g *Grid) KNearest(from Point, k int) []Neighbor {
+	if k <= 0 || len(g.pos) == 0 {
+		return nil
+	}
+	cx := int((from.X - g.bounds.Min.X) / g.cellSize)
+	cy := int((from.Y - g.bounds.Min.Y) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+
+	var found []Neighbor
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once we have k candidates, stop when the closest possible point in
+		// this ring is farther than our current k-th distance. A point in
+		// ring r is at least (r-1)*cellSize away from `from`.
+		if len(found) >= k {
+			minPossible := float64(ring-1) * g.cellSize
+			sort.Slice(found, func(i, j int) bool {
+				if found[i].Dist != found[j].Dist {
+					return found[i].Dist < found[j].Dist
+				}
+				return found[i].ID < found[j].ID
+			})
+			if found[k-1].Dist <= minPossible {
+				break
+			}
+		}
+		added := false
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue // interior already scanned in earlier rings
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+					continue
+				}
+				added = true
+				for _, id := range g.cells[y*g.nx+x] {
+					p := g.pos[id]
+					found = append(found, Neighbor{ID: id, Pos: p, Dist: Dist(from, p)})
+				}
+			}
+		}
+		if !added && ring > 0 && len(found) >= k {
+			break
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].Dist != found[j].Dist {
+			return found[i].Dist < found[j].Dist
+		}
+		return found[i].ID < found[j].ID
+	})
+	if len(found) > k {
+		found = found[:k]
+	}
+	return found
+}
+
+// Within returns the ids of all indexed points within radius of from.
+func (g *Grid) Within(from Point, radius float64) []int64 {
+	var out []int64
+	minX := int((from.X - radius - g.bounds.Min.X) / g.cellSize)
+	maxX := int((from.X + radius - g.bounds.Min.X) / g.cellSize)
+	minY := int((from.Y - radius - g.bounds.Min.Y) / g.cellSize)
+	maxY := int((from.Y + radius - g.bounds.Min.Y) / g.cellSize)
+	for y := max(0, minY); y <= min(g.ny-1, maxY); y++ {
+		for x := max(0, minX); x <= min(g.nx-1, maxX); x++ {
+			for _, id := range g.cells[y*g.nx+x] {
+				if Dist(from, g.pos[id]) <= radius {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Each calls fn for every indexed point. Iteration order is unspecified.
+func (g *Grid) Each(fn func(id int64, p Point)) {
+	for id, p := range g.pos {
+		fn(id, p)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,183 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func bruteKNearest(pos map[int64]Point, from Point, k int) []Neighbor {
+	var all []Neighbor
+	for id, p := range pos {
+		all = append(all, Neighbor{ID: id, Pos: p, Dist: Dist(from, p)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestGridKNearestMatchesBruteForce(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{2000, 2000})
+	g := NewGrid(bounds, 100)
+	rng := rand.New(rand.NewSource(42))
+	pos := make(map[int64]Point)
+	for id := int64(0); id < 500; id++ {
+		p := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		g.Insert(id, p)
+		pos[id] = p
+	}
+	for trial := 0; trial < 100; trial++ {
+		from := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		k := 1 + rng.Intn(12)
+		got := g.KNearest(from, k)
+		want := bruteKNearest(pos, from, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d: k=%d idx=%d got id %d (d=%.3f) want id %d (d=%.3f)",
+					trial, k, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestGridKNearestAfterMovesAndRemoves(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{1000, 1000})
+	g := NewGrid(bounds, 50)
+	rng := rand.New(rand.NewSource(7))
+	pos := make(map[int64]Point)
+	for id := int64(0); id < 200; id++ {
+		p := Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		g.Insert(id, p)
+		pos[id] = p
+	}
+	// Churn: move half, remove a quarter.
+	for id := int64(0); id < 100; id++ {
+		p := Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		g.Move(id, p)
+		pos[id] = p
+	}
+	for id := int64(100); id < 150; id++ {
+		g.Remove(id)
+		delete(pos, id)
+	}
+	if g.Len() != len(pos) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(pos))
+	}
+	for trial := 0; trial < 50; trial++ {
+		from := Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		got := g.KNearest(from, 8)
+		want := bruteKNearest(pos, from, 8)
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d idx %d: got %d want %d", trial, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+func TestGridKNearestFewerThanK(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{100, 100}), 10)
+	g.Insert(1, Point{10, 10})
+	g.Insert(2, Point{90, 90})
+	got := g.KNearest(Point{0, 0}, 8)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("order wrong: %+v", got)
+	}
+}
+
+func TestGridKNearestEmptyAndZeroK(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{100, 100}), 10)
+	if got := g.KNearest(Point{0, 0}, 8); got != nil {
+		t.Errorf("empty grid should return nil, got %v", got)
+	}
+	g.Insert(1, Point{5, 5})
+	if got := g.KNearest(Point{0, 0}, 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestGridOutOfBoundsPointsClamped(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{100, 100}), 10)
+	g.Insert(1, Point{-500, -500})
+	g.Insert(2, Point{600, 600})
+	got := g.KNearest(Point{50, 50}, 2)
+	if len(got) != 2 {
+		t.Fatalf("want both out-of-bounds points indexed, got %d", len(got))
+	}
+}
+
+func TestGridWithin(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{1000, 1000}), 50)
+	g.Insert(1, Point{100, 100})
+	g.Insert(2, Point{150, 100})
+	g.Insert(3, Point{500, 500})
+	got := g.Within(Point{100, 100}, 60)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Within = %v, want [1 2]", got)
+	}
+	if got := g.Within(Point{900, 900}, 10); len(got) != 0 {
+		t.Errorf("expected empty, got %v", got)
+	}
+}
+
+func TestGridInsertExistingMoves(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{100, 100}), 10)
+	g.Insert(1, Point{10, 10})
+	g.Insert(1, Point{90, 90})
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	p, ok := g.Position(1)
+	if !ok || p != (Point{90, 90}) {
+		t.Errorf("Position = %v %v", p, ok)
+	}
+}
+
+func TestGridRemoveAbsent(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{100, 100}), 10)
+	g.Remove(99) // must not panic
+	g.Insert(1, Point{1, 1})
+	g.Remove(1)
+	g.Remove(1)
+	if g.Len() != 0 {
+		t.Errorf("Len = %d, want 0", g.Len())
+	}
+}
+
+func TestGridEach(t *testing.T) {
+	g := NewGrid(NewRect(Point{0, 0}, Point{100, 100}), 10)
+	for id := int64(0); id < 10; id++ {
+		g.Insert(id, Point{float64(id), float64(id)})
+	}
+	seen := make(map[int64]bool)
+	g.Each(func(id int64, p Point) { seen[id] = true })
+	if len(seen) != 10 {
+		t.Errorf("Each visited %d points, want 10", len(seen))
+	}
+}
+
+func BenchmarkGridKNearest(b *testing.B) {
+	bounds := NewRect(Point{0, 0}, Point{4000, 4000})
+	g := NewGrid(bounds, 200)
+	rng := rand.New(rand.NewSource(1))
+	for id := int64(0); id < 1000; id++ {
+		g.Insert(id, Point{rng.Float64() * 4000, rng.Float64() * 4000})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KNearest(Point{rng.Float64() * 4000, rng.Float64() * 4000}, 8)
+	}
+}

@@ -1,0 +1,152 @@
+package measure
+
+import (
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// JitterEvent is one detected stale-multiplier episode in a client's
+// stream: the multiplier briefly reverted to another value and bounced
+// back within a minute (§5.2).
+type JitterEvent struct {
+	Client int
+	Start  int64
+	End    int64
+	During float64 // the multiplier served during the jitter
+	Base   float64 // the interval's true multiplier around it
+}
+
+// Duration returns the episode length in seconds.
+func (j JitterEvent) Duration() int64 { return j.End - j.Start }
+
+// maxJitterSeconds bounds a jitter episode; the paper observed 100% of
+// jitter lasting under a minute.
+const maxJitterSeconds = 65
+
+// ExtractJitter scans per-client surge change logs for the jitter
+// signature: a change m→x immediately followed by the reverse change x→m
+// within a minute. Returns events in client order, then time order.
+func ExtractJitter(changes [][]SurgeChange) []JitterEvent {
+	var out []JitterEvent
+	for client, log := range changes {
+		for i := 0; i+1 < len(log); i++ {
+			c1, c2 := log[i], log[i+1]
+			if c2.To == c1.From && c2.Time-c1.Time <= maxJitterSeconds {
+				out = append(out, JitterEvent{
+					Client: client,
+					Start:  c1.Time,
+					End:    c2.Time,
+					During: c1.To,
+					Base:   c1.From,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// SimultaneousJitter returns, for each jitter event, how many distinct
+// clients observed a jitter onset at the same moment (the same 5-second
+// ping round) — the quantity in Fig 17 (~90% of events are seen by
+// exactly one client, none by more than five).
+func SimultaneousJitter(events []JitterEvent) []int {
+	out := make([]int, len(events))
+	for i, e := range events {
+		clients := map[int]bool{e.Client: true}
+		for j, f := range events {
+			if i == j {
+				continue
+			}
+			if d := e.Start - f.Start; d > -5 && d < 5 {
+				clients[f.Client] = true
+			}
+		}
+		out[i] = len(clients)
+	}
+	return out
+}
+
+// SurgeDurations reconstructs the lengths of continuous surge episodes
+// (multiplier > 1) from a change log covering [start, end). The stream is
+// assumed to begin at multiplier initial (1 for a fresh campaign).
+func SurgeDurations(log []SurgeChange, initial float64, start, end int64) []float64 {
+	var out []float64
+	cur := initial
+	var surgeStart int64 = -1
+	if cur > 1 {
+		surgeStart = start
+	}
+	emit := func(until int64) {
+		if surgeStart >= 0 && until > surgeStart {
+			out = append(out, float64(until-surgeStart))
+		}
+		surgeStart = -1
+	}
+	for _, c := range log {
+		if c.Time < start || c.Time >= end {
+			continue
+		}
+		if cur <= 1 && c.To > 1 {
+			surgeStart = c.Time
+		} else if cur > 1 && c.To <= 1 {
+			emit(c.Time)
+		}
+		cur = c.To
+	}
+	if cur > 1 {
+		emit(end)
+	}
+	return out
+}
+
+// ChangeMoments returns, for each change in the log, the offset in seconds
+// of the change within its 5-minute interval — the Fig 15 histogram input.
+func ChangeMoments(log []SurgeChange) []float64 {
+	out := make([]float64, 0, len(log))
+	for _, c := range log {
+		out = append(out, float64(c.Time%Interval))
+	}
+	return out
+}
+
+// APIProbe polls the estimates/price endpoint from one account at a fixed
+// location and keeps a change log of the UberX multiplier. This is the
+// §3.2/§5 API datastream: 5-minute clock, no jitter. One poll every 5
+// seconds stays within the 1,000 req/hr rate limit (720/hr).
+type APIProbe struct {
+	Svc      core.Service
+	ClientID string
+	Loc      geo.LatLng
+
+	Cur     float64
+	Log     []SurgeChange
+	Samples []float32
+	// Errs counts failed polls (rate limiting, transport).
+	Errs int
+}
+
+// NewAPIProbe builds a probe; register the account on the backend first.
+func NewAPIProbe(svc core.Service, clientID string, loc geo.LatLng) *APIProbe {
+	return &APIProbe{Svc: svc, ClientID: clientID, Loc: loc, Cur: 1}
+}
+
+// Poll queries the price endpoint once and records the UberX multiplier.
+func (p *APIProbe) Poll() {
+	prices, err := p.Svc.EstimatePrice(p.ClientID, p.Loc)
+	if err != nil {
+		p.Errs++
+		return
+	}
+	now := p.Svc.Now()
+	for _, pe := range prices {
+		if pe.TypeName != core.UberX.String() {
+			continue
+		}
+		p.Samples = append(p.Samples, float32(pe.Surge))
+		if pe.Surge != p.Cur {
+			p.Log = append(p.Log, SurgeChange{Time: now, From: p.Cur, To: pe.Surge})
+			p.Cur = pe.Surge
+		}
+		return
+	}
+}

@@ -1,0 +1,68 @@
+package record
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// syntheticResponse builds a plausible ping response for throughput
+// benchmarks (9 products, 8 cars each).
+func syntheticResponse(t int64) *core.PingResponse {
+	resp := &core.PingResponse{Time: t}
+	for _, vt := range core.AllVehicleTypes() {
+		ts := core.TypeStatus{Type: vt, TypeName: vt.String(), Surge: 1.3, EWTSeconds: 142}
+		for c := 0; c < core.MaxVisibleCars; c++ {
+			ts.Cars = append(ts.Cars, core.CarView{
+				ID:  fmt.Sprintf("c%08x%08x", t, c),
+				Pos: geo.LatLng{Lat: 40.75 + float64(c)*1e-4, Lng: -73.98},
+			})
+		}
+		resp.Types = append(resp.Types, ts)
+	}
+	return resp
+}
+
+func BenchmarkRecordWrite(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{City: "manhattan", Clients: make([]geo.Point, 43)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp := syntheticResponse(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(i%43, geo.Point{}, resp)
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(buf.Len())/float64(b.N), "bytes/row")
+}
+
+func BenchmarkRecordReplay(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{City: "manhattan", Clients: make([]geo.Point, 43)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 2000
+	for i := 0; i < rows; i++ {
+		w.Observe(i%43, geo.Point{}, syntheticResponse(int64(i/43)*5))
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Replay(bytes.NewReader(data), discardSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows, "rows/op")
+}

@@ -1,0 +1,186 @@
+// Package record persists a measurement campaign's pingClient stream to
+// disk and replays it later — the paper's workflow of collecting hundreds
+// of gigabytes first and analyzing offline afterwards. The format is
+// gzip-compressed JSON lines: a header describing the campaign, then one
+// record per (round, client) observation. Car path vectors are dropped
+// (no analysis consumes them); everything else the Dataset needs is kept.
+package record
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// Version is the current file format version.
+const Version = 1
+
+// Header opens every recording.
+type Header struct {
+	Version int         `json:"version"`
+	City    string      `json:"city"`
+	Start   int64       `json:"start"`
+	Clients []geo.Point `json:"clients"`
+}
+
+type carRec struct {
+	ID  string  `json:"i"`
+	Lat float64 `json:"a"`
+	Lng float64 `json:"o"`
+}
+
+type typeRec struct {
+	Type  string   `json:"t"`
+	Surge float64  `json:"s"`
+	EWT   float64  `json:"e"`
+	Cars  []carRec `json:"c,omitempty"`
+}
+
+type obsRec struct {
+	Time   int64     `json:"t"`
+	Client int       `json:"c"`
+	Types  []typeRec `json:"y"`
+}
+
+// Writer streams observations to disk. It implements client.Sink, so it
+// can be attached to a campaign next to the live Dataset.
+type Writer struct {
+	gz   *gzip.Writer
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	err  error
+	Rows int64
+}
+
+// NewWriter writes the header and returns a sink-compatible writer.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	hdr.Version = Version
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriterSize(gz, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, fmt.Errorf("record: write header: %w", err)
+	}
+	return &Writer{gz: gz, bw: bw, enc: enc}, nil
+}
+
+// Observe implements client.Sink.
+func (w *Writer) Observe(clientIdx int, pos geo.Point, resp *core.PingResponse) {
+	if w.err != nil {
+		return
+	}
+	rec := obsRec{Time: resp.Time, Client: clientIdx}
+	for i := range resp.Types {
+		ts := &resp.Types[i]
+		tr := typeRec{Type: ts.TypeName, Surge: ts.Surge, EWT: ts.EWTSeconds}
+		for _, c := range ts.Cars {
+			tr.Cars = append(tr.Cars, carRec{ID: c.ID, Lat: c.Pos.Lat, Lng: c.Pos.Lng})
+		}
+		rec.Types = append(rec.Types, tr)
+	}
+	if err := w.enc.Encode(&rec); err != nil {
+		w.err = err
+		return
+	}
+	w.Rows++
+}
+
+// EndRound implements client.Sink; rounds are reconstructed on replay
+// from the shared timestamp, so nothing is written.
+func (w *Writer) EndRound(now int64) {}
+
+// Close flushes and finalizes the stream.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.gz.Close()
+}
+
+// Replay streams a recording into sinks, reconstructing round boundaries
+// (all observations of one round share a timestamp). It returns the
+// header and the number of rounds replayed.
+func Replay(r io.Reader, sinks ...client.Sink) (Header, int64, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return Header{}, 0, fmt.Errorf("record: open: %w", err)
+	}
+	defer gz.Close()
+	dec := json.NewDecoder(bufio.NewReaderSize(gz, 1<<16))
+
+	var hdr Header
+	if err := dec.Decode(&hdr); err != nil {
+		return Header{}, 0, fmt.Errorf("record: read header: %w", err)
+	}
+	if hdr.Version != Version {
+		return hdr, 0, fmt.Errorf("record: unsupported version %d", hdr.Version)
+	}
+
+	var rounds int64
+	curTime := int64(-1)
+	for {
+		var rec obsRec
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return hdr, rounds, fmt.Errorf("record: read row: %w", err)
+		}
+		if curTime >= 0 && rec.Time != curTime {
+			for _, s := range sinks {
+				s.EndRound(curTime)
+			}
+			rounds++
+		}
+		curTime = rec.Time
+		resp, err := rec.toResponse()
+		if err != nil {
+			return hdr, rounds, err
+		}
+		var pos geo.Point
+		if rec.Client >= 0 && rec.Client < len(hdr.Clients) {
+			pos = hdr.Clients[rec.Client]
+		}
+		for _, s := range sinks {
+			s.Observe(rec.Client, pos, resp)
+		}
+	}
+	if curTime >= 0 {
+		for _, s := range sinks {
+			s.EndRound(curTime)
+		}
+		rounds++
+	}
+	return hdr, rounds, nil
+}
+
+func (r *obsRec) toResponse() (*core.PingResponse, error) {
+	resp := &core.PingResponse{Time: r.Time}
+	for _, tr := range r.Types {
+		vt, err := core.ParseVehicleType(tr.Type)
+		if err != nil {
+			return nil, fmt.Errorf("record: row at t=%d: %w", r.Time, err)
+		}
+		ts := core.TypeStatus{
+			Type: vt, TypeName: tr.Type,
+			Surge: tr.Surge, EWTSeconds: tr.EWT,
+		}
+		for _, c := range tr.Cars {
+			ts.Cars = append(ts.Cars, core.CarView{
+				ID: c.ID, Pos: geo.LatLng{Lat: c.Lat, Lng: c.Lng},
+			})
+		}
+		resp.Types = append(resp.Types, ts)
+	}
+	return resp, nil
+}

@@ -1,0 +1,157 @@
+package record
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/sim"
+)
+
+// runRecordedCampaign runs a 1-hour campaign writing both a live dataset
+// and a recording, then replays the recording into a second dataset.
+func runRecordedCampaign(t *testing.T) (live, replayed *measure.Dataset, hdr Header, rounds int64) {
+	t.Helper()
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 77, true)
+	pts := client.GridLayout(profile.MeasureRect, profile.ClientSpacing, client.NumClients)
+	camp := client.NewCampaign(svc, svc.World().Projection(), pts)
+	camp.RegisterAll(svc)
+
+	areas := profile.SurgeAreas()
+	clientAreas := make([]int, len(pts))
+	for i, p := range pts {
+		clientAreas[i] = sim.AreaOf(areas, p)
+	}
+	mkDataset := func() *measure.Dataset {
+		return measure.NewDataset(measure.Config{
+			Profile: profile, Start: 0, End: 3600, ClientAreas: clientAreas,
+		}, len(pts))
+	}
+
+	live = mkDataset()
+	camp.AddSink(live)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{City: profile.Name, Start: 0, Clients: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.AddSink(w)
+	camp.RunSim(svc, 3600)
+	live.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	replayed = mkDataset()
+	hdr, rounds, err = Replay(&buf, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed.Close()
+	return live, replayed, hdr, rounds
+}
+
+func TestRoundTripMatchesLiveDataset(t *testing.T) {
+	live, replayed, hdr, rounds := runRecordedCampaign(t)
+
+	if hdr.City != "manhattan" || len(hdr.Clients) != client.NumClients {
+		t.Errorf("header = %+v", hdr)
+	}
+	if rounds != 720 {
+		t.Errorf("rounds = %d, want 720", rounds)
+	}
+	// The replayed dataset must match the live one on every series.
+	for _, vt := range measure.TrackedTypes {
+		a, b := live.SupplySeries(vt), replayed.SupplySeries(vt)
+		for i := range a.Values {
+			if !eqNaN(a.Values[i], b.Values[i]) {
+				t.Fatalf("%v supply[%d]: %v vs %v", vt, i, a.Values[i], b.Values[i])
+			}
+		}
+		da, db := live.DeathSeries(vt), replayed.DeathSeries(vt)
+		for i := range da.Values {
+			if !eqNaN(da.Values[i], db.Values[i]) {
+				t.Fatalf("%v deaths[%d]: %v vs %v", vt, i, da.Values[i], db.Values[i])
+			}
+		}
+	}
+	if len(live.SurgeSamples) != len(replayed.SurgeSamples) {
+		t.Fatalf("surge samples: %d vs %d", len(live.SurgeSamples), len(replayed.SurgeSamples))
+	}
+	for i := range live.SurgeSamples {
+		if live.SurgeSamples[i] != replayed.SurgeSamples[i] {
+			t.Fatalf("surge sample %d differs", i)
+		}
+	}
+	// Jitter events survive the round trip (change logs identical).
+	le := measure.ExtractJitter(live.Changes)
+	re := measure.ExtractJitter(replayed.Changes)
+	if len(le) != len(re) {
+		t.Errorf("jitter events: %d vs %d", len(le), len(re))
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func TestReplayCorruptInput(t *testing.T) {
+	if _, _, err := Replay(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("garbage input should error")
+	}
+	// Valid gzip, garbage JSON.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{City: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty body: header only, zero rounds.
+	hdr, rounds, err := Replay(&buf)
+	if err != nil {
+		t.Fatalf("empty recording should replay cleanly: %v", err)
+	}
+	if hdr.City != "x" || rounds != 0 {
+		t.Errorf("hdr=%+v rounds=%d", hdr, rounds)
+	}
+}
+
+func TestWriterPreservesUnknownTypesError(t *testing.T) {
+	// A record with an unknown vehicle type fails replay loudly rather
+	// than being silently dropped.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{City: "x", Clients: []geo.Point{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(0, geo.Point{}, &core.PingResponse{
+		Time:  5,
+		Types: []core.TypeStatus{{TypeName: "uberWARP", Surge: 1}},
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Replay(&buf, discardSink{}); err == nil {
+		t.Error("unknown type should fail replay")
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) Observe(int, geo.Point, *core.PingResponse) {}
+func (discardSink) EndRound(int64)                             {}

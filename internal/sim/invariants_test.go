@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// checkInvariants verifies the world's internal bookkeeping: the driver
+// index maps every driver to its slice slot, the per-product grids hold
+// exactly the idle drivers, and every grid position matches the driver.
+func checkInvariants(t *testing.T, w *World) {
+	t.Helper()
+	idleByType := make(map[core.VehicleType]map[int64]geo.Point)
+	seen := 0
+	w.EachDriver(func(d *Driver) {
+		seen++
+		if d.State == StateIdle {
+			m := idleByType[d.Type]
+			if m == nil {
+				m = make(map[int64]geo.Point)
+				idleByType[d.Type] = m
+			}
+			m[d.ID] = d.Pos
+		}
+	})
+	if seen != w.OnlineDrivers() {
+		t.Fatalf("EachDriver visited %d, OnlineDrivers says %d", seen, w.OnlineDrivers())
+	}
+	for _, vt := range core.AllVehicleTypes() {
+		grid := w.grids[int(vt)]
+		want := idleByType[vt]
+		if grid.Len() != len(want) {
+			t.Fatalf("%v grid holds %d, want %d idle drivers", vt, grid.Len(), len(want))
+		}
+		grid.Each(func(id int64, p geo.Point) {
+			wp, ok := want[id]
+			if !ok {
+				t.Fatalf("%v grid holds non-idle or unknown driver %d", vt, id)
+			}
+			if wp != p {
+				t.Fatalf("%v grid position for %d is stale: %v vs %v", vt, id, p, wp)
+			}
+		})
+	}
+	for id, idx := range w.driverIdx {
+		if idx < 0 || idx >= len(w.drivers) || w.drivers[idx].ID != id {
+			t.Fatalf("driverIdx[%d] = %d is stale", id, idx)
+		}
+	}
+}
+
+func TestWorldInvariantsUnderChurn(t *testing.T) {
+	for _, mode := range []PricingMode{PricingSurge, PricingDriverSet} {
+		w := NewWorld(Config{Profile: SanFrancisco(), Seed: 99, Pricing: mode})
+		w.SetSurgeProvider(func(int) float64 { return 1.3 })
+		for hour := 0; hour < 6; hour++ {
+			w.Run(int64(hour+1) * 3600)
+			checkInvariants(t, w)
+		}
+	}
+}
+
+func TestWorldInvariantsWithCollusionAndShocks(t *testing.T) {
+	w := NewWorld(Config{Profile: Manhattan(), Seed: 5})
+	w.Run(8 * 3600)
+	checkInvariants(t, w)
+	w.ForceOffline(core.UberX, 0, 30, 600)
+	w.InjectDemandShock(1, 1.8, 1200)
+	checkInvariants(t, w)
+	w.Run(w.Now() + 1800)
+	checkInvariants(t, w)
+}
+
+func TestPoolWorldInvariants(t *testing.T) {
+	w := NewWorld(Config{Profile: poolProfile(), Seed: 13})
+	w.Run(3 * 3600)
+	checkInvariants(t, w)
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// poolProfile is a POOL-heavy city so shared-ride matches are frequent.
+func poolProfile() *CityProfile {
+	p := Manhattan()
+	p.FleetShare = map[core.VehicleType]float64{core.UberPOOL: 1}
+	p.DemandShare = map[core.VehicleType]float64{core.UberPOOL: 1}
+	p.PeakDrivers = 120
+	p.PeakRequestsPerHour = 600
+	return p
+}
+
+func TestPoolJoinsHappen(t *testing.T) {
+	w := NewWorld(Config{Profile: poolProfile(), Seed: 3})
+	w.Run(6 * 3600)
+	if w.TotalPickups == 0 {
+		t.Fatal("no pickups")
+	}
+	if w.TotalPoolJoins == 0 {
+		t.Fatal("no POOL joins despite a POOL-only city")
+	}
+	// Joins are a subset of pickups.
+	if w.TotalPoolJoins >= w.TotalPickups {
+		t.Errorf("joins (%d) should be a fraction of pickups (%d)", w.TotalPoolJoins, w.TotalPickups)
+	}
+	// Every rider is eventually dropped: dropoffs track pickups.
+	if w.TotalDropoffs == 0 {
+		t.Fatal("no dropoffs")
+	}
+}
+
+func TestPoolAccountingBalances(t *testing.T) {
+	w := NewWorld(Config{Profile: poolProfile(), Seed: 9})
+	w.Run(4 * 3600)
+	// Drain all in-flight trips by stopping demand (run in a world copy
+	// is impossible; instead let remaining trips finish: pool trips are
+	// bounded, so a generous grace period suffices with demand still
+	// arriving — dropoffs must stay within riders picked up).
+	if w.TotalDropoffs > w.TotalPickups {
+		t.Errorf("dropoffs (%d) exceed pickups (%d)", w.TotalDropoffs, w.TotalPickups)
+	}
+	// Riders in cars are bounded by 2 per POOL driver.
+	w.EachDriver(func(d *Driver) {
+		if d.PoolRiders < 0 || d.PoolRiders > 2 {
+			t.Errorf("driver %d has %d riders", d.ID, d.PoolRiders)
+		}
+		if d.State != StateOnTrip && d.State != StateEnRoute && d.PoolRiders != 0 {
+			t.Errorf("idle driver %d carries %d riders", d.ID, d.PoolRiders)
+		}
+	})
+}
+
+func TestPoolJoinDivertsRoute(t *testing.T) {
+	w := NewWorld(Config{Profile: poolProfile(), Seed: 5})
+	w.Run(600)
+	// Find an on-trip single-rider POOL driver and join it directly.
+	var target *Driver
+	w.EachDriver(func(d *Driver) {
+		if target == nil && d.State == StateOnTrip && d.PoolRiders == 1 && len(d.stops) == 0 {
+			target = d
+		}
+	})
+	if target == nil {
+		t.Skip("no single-rider POOL trip at probe time")
+	}
+	oldDest := target.Dest
+	pickup := target.Pos.Add(geo.Point{X: 50, Y: 50})
+	if !w.joinPool(pickup, -1) {
+		t.Fatal("join refused despite an eligible trip nearby")
+	}
+	if target.PoolRiders != 2 {
+		t.Errorf("riders = %d, want 2", target.PoolRiders)
+	}
+	if target.Dest != pickup || target.destDrop {
+		t.Error("driver should divert to the new pickup first")
+	}
+	if len(target.stops) != 2 || !target.stops[0].Drop || target.stops[0].Pos != oldDest {
+		t.Errorf("stop queue wrong: %+v", target.stops)
+	}
+}
+
+func TestPoolJoinRespectsRadius(t *testing.T) {
+	w := NewWorld(Config{Profile: poolProfile(), Seed: 7})
+	w.Run(600)
+	far := geo.Point{X: 99999, Y: 99999}
+	if w.joinPool(far, -1) {
+		t.Error("joined a pool from outside the match radius")
+	}
+}

@@ -1,0 +1,915 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// Config configures a World.
+type Config struct {
+	Profile *CityProfile
+	Seed    int64
+	// TickSeconds is the simulation step; it defaults to 5, the ping
+	// cadence of the Client app.
+	TickSeconds int64
+	// StartTime is the initial simulation time (seconds since Monday
+	// midnight). Defaults to 0.
+	StartTime int64
+	// Pricing selects the market mechanism (default PricingSurge).
+	Pricing PricingMode
+}
+
+// PricingMode selects how prices form.
+type PricingMode int
+
+// The two market designs the paper contrasts in §8: Uber's centralized
+// surge algorithm, and Sidecar's model where every driver sets their own
+// price and passengers pick whom to accept.
+const (
+	PricingSurge PricingMode = iota
+	PricingDriverSet
+)
+
+// WindowStats aggregates one surge area's activity over the trailing
+// window; the surge engine consumes and resets it every five minutes.
+type WindowStats struct {
+	Ticks        int
+	IdleCarTicks float64 // Σ idle cars per tick (surgeable products)
+	BusyCarTicks float64 // Σ en-route + on-trip cars per tick
+	Pickups      int     // fulfilled requests, i.e. "deaths" by booking
+	LatentDemand int     // quantity demanded incl. priced-out + unfulfilled
+	PricedOut    int     // requests abandoned due to surge
+	Unfulfilled  int     // requests with no reachable driver
+	EWTSum       float64 // Σ UberX EWT sampled at the area centroid
+	EWTN         int
+}
+
+// AvgIdle returns the average number of visible (idle) cars in the area.
+func (w WindowStats) AvgIdle() float64 {
+	if w.Ticks == 0 {
+		return 0
+	}
+	return w.IdleCarTicks / float64(w.Ticks)
+}
+
+// AvgBusy returns the average number of booked cars in the area.
+func (w WindowStats) AvgBusy() float64 {
+	if w.Ticks == 0 {
+		return 0
+	}
+	return w.BusyCarTicks / float64(w.Ticks)
+}
+
+// AvgEWT returns the average sampled EWT in seconds (0 if unsampled).
+func (w WindowStats) AvgEWT() float64 {
+	if w.EWTN == 0 {
+		return 0
+	}
+	return w.EWTSum / float64(w.EWTN)
+}
+
+// World is the simulated city. It is not safe for concurrent use; the
+// layers above (api.Service) serialize access.
+type World struct {
+	cfg     Config
+	profile *CityProfile
+	rng     *rand.Rand
+	proj    *geo.Projection
+
+	now  int64
+	tick int64
+
+	drivers   []*Driver // iteration order is deterministic
+	driverIdx map[int64]int
+	nextID    int64
+
+	// idle cars only, one index per product: these are the cars a client
+	// can see.
+	grids [core.NumVehicleTypes]*geo.Grid
+
+	areas      []geo.Polygon
+	areaStats  []WindowStats
+	surgeOf    func(area int) float64 // provided by the surge engine
+	fleetCDF   []float64              // cumulative fleet shares
+	demandCDF  []float64              // cumulative demand shares
+	hotspotCDF []float64
+
+	meanSessionSec float64
+	effSessionSec  float64 // fleet-wide expected session length
+
+	// demand shocks: exogenous demand multipliers per area (concerts,
+	// storms, "last call" surges beyond the diurnal curve).
+	shocks []demandShock
+
+	// suspended drivers (the §8 collusion scenario: drivers go offline
+	// together to starve supply, then return once surge rises).
+	suspended []suspendedDriver
+
+	// lifetime counters (ground truth for tests and validation).
+	TotalSpawned   int64
+	TotalOffline   int64
+	TotalPickups   int64
+	TotalDropoffs  int64
+	TotalPricedOut int64
+	TotalUnmet     int64
+	TotalPoolJoins int64
+
+	// price multipliers paid by fulfilled passengers (surge multiplier
+	// or the chosen driver's PriceFactor, by pricing mode).
+	priceSum, priceSumSq float64
+	priceN               int64
+
+	// Economics (§2): upfront fares, Uber's 20% commission, drivers' 80%.
+	fares         map[core.VehicleType]core.FareSchedule
+	FareVolume    float64 // total passenger spend, USD
+	CommissionUSD float64 // Uber's cut
+	// AreaFares accumulates passenger spend by pickup area (lifetime,
+	// never reset — the attack experiment diffs it across a window).
+	AreaFares []float64
+}
+
+// CommissionRate is Uber's share of each fare (§2).
+const CommissionRate = 0.20
+
+// PriceStats returns the mean and standard deviation of the price
+// multiplier fulfilled passengers paid, and the sample count.
+func (w *World) PriceStats() (mean, std float64, n int64) {
+	if w.priceN == 0 {
+		return 0, 0, 0
+	}
+	mean = w.priceSum / float64(w.priceN)
+	v := w.priceSumSq/float64(w.priceN) - mean*mean
+	if v > 0 {
+		std = math.Sqrt(v)
+	}
+	return mean, std, w.priceN
+}
+
+type demandShock struct {
+	area   int
+	factor float64
+	until  int64
+}
+
+type suspendedDriver struct {
+	vt       core.VehicleType
+	pos      geo.Point
+	returnAt int64
+}
+
+// movement and dispatch constants.
+const (
+	idleSpeed        = 3.0    // m/s while cruising
+	dispatchOverhead = 75.0   // seconds of matching + acceptance latency
+	manhattanFactor  = 1.4    // street-grid detour over straight line
+	maxEWTSeconds    = 2580.0 // 43 minutes, the paper's observed maximum
+	dispatchRadius   = 2200.0 // max straight-line pickup distance, meters
+	tripStopSeconds  = 120.0  // fixed per-trip boarding/alighting time
+)
+
+// NewWorld builds a world for the profile with an initial driver
+// population appropriate for the start hour.
+func NewWorld(cfg Config) *World {
+	if cfg.Profile == nil {
+		panic("sim: Config.Profile is required")
+	}
+	if cfg.TickSeconds <= 0 {
+		cfg.TickSeconds = 5
+	}
+	p := cfg.Profile
+	w := &World{
+		cfg:       cfg,
+		profile:   p,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		proj:      geo.NewProjection(p.Origin),
+		now:       cfg.StartTime,
+		driverIdx: make(map[int64]int),
+		areas:     p.SurgeAreas(),
+		surgeOf:   func(int) float64 { return 1 },
+	}
+	w.areaStats = make([]WindowStats, len(w.areas))
+	w.fares = core.DefaultFares()
+	w.AreaFares = make([]float64, len(w.areas))
+	for i := range w.grids {
+		w.grids[i] = geo.NewGrid(p.Region, 250)
+	}
+	w.fleetCDF = cdfOf(NormalizedShares(p.FleetShare))
+	w.demandCDF = cdfOf(NormalizedShares(p.DemandShare))
+	w.hotspotCDF = make([]float64, len(p.Hotspots))
+	var hs float64
+	for i, h := range p.Hotspots {
+		hs += h.Weight
+		w.hotspotCDF[i] = hs
+	}
+	for i := range w.hotspotCDF {
+		w.hotspotCDF[i] /= hs
+	}
+	w.meanSessionSec = p.MeanSessionMinutes * 60
+	// Expected session length across the fleet: the lognormal draw has
+	// mean = median·exp(σ²/2), and luxury products run longer sessions.
+	// spawnArrivals divides by this to hold the population at its target.
+	luxShare := w.fleetShareOf(core.UberBLACK) + w.fleetShareOf(core.UberSUV)
+	w.effSessionSec = w.meanSessionSec *
+		((1 - luxShare) + luxShare*p.LuxurySessionFactor) *
+		math.Exp(0.7*0.7/2)
+
+	// Seed the initial population at the steady-state size for the start
+	// hour, with sessions already partially elapsed.
+	target := int(float64(p.PeakDrivers) * p.SupplyDiurnal[HourOfDay(w.now)])
+	for i := 0; i < target; i++ {
+		d := w.spawnDriver()
+		// Spread remaining session time as if drivers came online earlier.
+		elapsed := int64(w.rng.Float64() * w.sessionLength(d.Type))
+		d.OfflineAt -= elapsed
+		if d.OfflineAt <= w.now {
+			d.OfflineAt = w.now + int64(w.rng.Float64()*w.meanSessionSec*0.5) + 60
+		}
+	}
+	return w
+}
+
+// fleetShareOf returns the normalized fleet share of a product.
+func (w *World) fleetShareOf(vt core.VehicleType) float64 {
+	prev := 0.0
+	if int(vt) > 0 {
+		prev = w.fleetCDF[int(vt)-1]
+	}
+	return w.fleetCDF[int(vt)] - prev
+}
+
+func cdfOf(shares []float64) []float64 {
+	out := make([]float64, len(shares))
+	var s float64
+	for i, v := range shares {
+		s += v
+		out[i] = s
+	}
+	return out
+}
+
+// Profile returns the city profile the world was built from.
+func (w *World) Profile() *CityProfile { return w.profile }
+
+// Projection returns the world's lat/lng projection.
+func (w *World) Projection() *geo.Projection { return w.proj }
+
+// Areas returns the surge-area polygons.
+func (w *World) Areas() []geo.Polygon { return w.areas }
+
+// Now returns the current simulation time in seconds.
+func (w *World) Now() int64 { return w.now }
+
+// TickSeconds returns the configured step size.
+func (w *World) TickSeconds() int64 { return w.cfg.TickSeconds }
+
+// SetSurgeProvider registers the function used to look up the current
+// surge multiplier for an area; the surge engine installs itself here.
+func (w *World) SetSurgeProvider(f func(area int) float64) {
+	if f != nil {
+		w.surgeOf = f
+	}
+}
+
+// InjectDemandShock multiplies request arrivals in an area by factor for
+// the given duration — the simulator's stand-in for concerts, storms, and
+// the other exogenous spikes that make surge noisy.
+func (w *World) InjectDemandShock(area int, factor float64, duration int64) {
+	w.shocks = append(w.shocks, demandShock{area: area, factor: factor, until: w.now + duration})
+}
+
+func (w *World) shockFactor(area int) float64 {
+	f := 1.0
+	for _, s := range w.shocks {
+		if s.area == area && w.now < s.until {
+			f *= s.factor
+		}
+	}
+	return f
+}
+
+// StreetSpeed returns the driving speed in m/s at time t: slower during
+// rush hours, faster overnight.
+func StreetSpeed(t int64) float64 {
+	h := HourOfDay(t)
+	switch {
+	case Rush(h) && !Weekend(t):
+		return 4.2
+	case h >= 22 || h < 6:
+		return 8.0
+	default:
+		return 6.0
+	}
+}
+
+// sessionLength draws a session length in seconds for a product; luxury
+// products (BLACK, SUV) run longer sessions, as Fig 7 shows.
+func (w *World) sessionLength(vt core.VehicleType) float64 {
+	mean := w.meanSessionSec
+	if vt == core.UberBLACK || vt == core.UberSUV {
+		mean *= w.profile.LuxurySessionFactor
+	}
+	// Lognormal with sigma 0.7 around the target median.
+	return mean * math.Exp(w.rng.NormFloat64()*0.7)
+}
+
+// sampleShare picks an index from a cumulative share vector.
+func (w *World) sampleShare(cdf []float64) int {
+	u := w.rng.Float64()
+	for i, c := range cdf {
+		if u <= c {
+			return i
+		}
+	}
+	return len(cdf) - 1
+}
+
+// samplePlace draws a location from the hotspot mixture (75%) or uniformly
+// from the region (25%), clamped into the region.
+func (w *World) samplePlace() geo.Point {
+	r := w.profile.Region
+	if len(w.profile.Hotspots) == 0 || w.rng.Float64() < 0.25 {
+		return geo.Point{
+			X: r.Min.X + w.rng.Float64()*r.Width(),
+			Y: r.Min.Y + w.rng.Float64()*r.Height(),
+		}
+	}
+	h := w.profile.Hotspots[w.sampleShare(w.hotspotCDF)]
+	p := geo.Point{
+		X: h.Pos.X + w.rng.NormFloat64()*h.Radius,
+		Y: h.Pos.Y + w.rng.NormFloat64()*h.Radius,
+	}
+	return r.Clamp(p)
+}
+
+// spawnDriver brings a new driver online and returns it.
+func (w *World) spawnDriver() *Driver {
+	vt := core.VehicleType(w.sampleShare(w.fleetCDF))
+	d := &Driver{
+		ID:          w.nextID,
+		Session:     newSessionID(w.rng),
+		Type:        vt,
+		Pos:         w.samplePlace(),
+		State:       StateIdle,
+		PriceFactor: clampFactor(1 + 0.2*w.rng.NormFloat64()),
+		idleSince:   w.now,
+	}
+	w.nextID++
+	d.OfflineAt = w.now + int64(w.sessionLength(vt))
+	d.cruiseTarget = w.samplePlace()
+	d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
+	d.recordPath()
+	w.drivers = append(w.drivers, d)
+	w.driverIdx[d.ID] = len(w.drivers) - 1
+	w.grids[int(vt)].Insert(d.ID, d.Pos)
+	w.TotalSpawned++
+	return d
+}
+
+// removeDriver takes the driver at slice index i offline.
+func (w *World) removeDriver(i int) {
+	d := w.drivers[i]
+	if d.State == StateIdle {
+		w.grids[int(d.Type)].Remove(d.ID)
+	}
+	last := len(w.drivers) - 1
+	w.drivers[i] = w.drivers[last]
+	w.driverIdx[w.drivers[i].ID] = i
+	w.drivers = w.drivers[:last]
+	delete(w.driverIdx, d.ID)
+	w.TotalOffline++
+}
+
+// Step advances the world by one tick.
+func (w *World) Step() {
+	dt := float64(w.cfg.TickSeconds)
+	w.now += w.cfg.TickSeconds
+	w.tick++
+
+	w.spawnArrivals(dt)
+	w.resumeSuspended()
+	w.moveDrivers(dt)
+	w.generateRequests(dt)
+	w.accumulateStats()
+	w.expireShocks()
+}
+
+// ForceOffline takes up to n idle drivers of the product inside the surge
+// area offline immediately and schedules their return after duration
+// seconds — the coordinated-logoff manipulation the paper's discussion
+// warns the black-box design invites. It returns how many drivers
+// complied (there may be fewer than n idle in the area).
+func (w *World) ForceOffline(vt core.VehicleType, area int, n int, duration int64) int {
+	taken := 0
+	for i := 0; i < len(w.drivers) && taken < n; i++ {
+		d := w.drivers[i]
+		if d.Type != vt || d.State != StateIdle {
+			continue
+		}
+		if AreaOf(w.areas, d.Pos) != area {
+			continue
+		}
+		w.suspended = append(w.suspended, suspendedDriver{
+			vt: d.Type, pos: d.Pos, returnAt: w.now + duration,
+		})
+		w.removeDriver(i)
+		i--
+		taken++
+	}
+	return taken
+}
+
+// resumeSuspended brings colluding drivers back online as fresh sessions
+// (a re-login gets a new randomized public ID, like any new session).
+func (w *World) resumeSuspended() {
+	if len(w.suspended) == 0 {
+		return
+	}
+	live := w.suspended[:0]
+	for _, s := range w.suspended {
+		if w.now < s.returnAt {
+			live = append(live, s)
+			continue
+		}
+		d := &Driver{
+			ID:      w.nextID,
+			Session: newSessionID(w.rng),
+			Type:    s.vt,
+			Pos:     s.pos,
+			State:   StateIdle,
+		}
+		w.nextID++
+		d.OfflineAt = w.now + int64(w.sessionLength(s.vt))
+		d.cruiseTarget = w.samplePlace()
+		d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
+		d.recordPath()
+		w.drivers = append(w.drivers, d)
+		w.driverIdx[d.ID] = len(w.drivers) - 1
+		w.grids[int(s.vt)].Insert(d.ID, d.Pos)
+		w.TotalSpawned++
+	}
+	w.suspended = live
+}
+
+// Run advances the world until time end.
+func (w *World) Run(end int64) {
+	for w.now < end {
+		w.Step()
+	}
+}
+
+func (w *World) expireShocks() {
+	live := w.shocks[:0]
+	for _, s := range w.shocks {
+		if w.now < s.until {
+			live = append(live, s)
+		}
+	}
+	w.shocks = live
+}
+
+// spawnArrivals brings new drivers online at a rate that sustains the
+// diurnal steady-state population, boosted slightly by surge (§5.5: a
+// small, consistent increase in new cars in surging areas).
+func (w *World) spawnArrivals(dt float64) {
+	p := w.profile
+	target := float64(p.PeakDrivers) * p.SupplyDiurnal[HourOfDay(w.now)]
+	rate := target / w.effSessionSec // arrivals per second
+	avgSurge := 0.0
+	for i := range w.areas {
+		avgSurge += w.surgeOf(i)
+	}
+	avgSurge /= float64(len(w.areas))
+	rate *= 1 + p.SupplyBoost*(avgSurge-1)
+	n := poisson(w.rng, rate*dt)
+	for i := 0; i < n; i++ {
+		d := w.spawnDriver()
+		// Driver flocking at spawn: pick the better of two candidate
+		// start locations, weighting by area surge.
+		alt := w.samplePlace()
+		if w.surgeWeight(alt) > w.surgeWeight(d.Pos) {
+			w.grids[int(d.Type)].Move(d.ID, alt)
+			d.Pos = alt
+		}
+	}
+}
+
+func (w *World) surgeWeight(p geo.Point) float64 {
+	a := AreaOf(w.areas, p)
+	if a < 0 {
+		return 1
+	}
+	return w.surgeOf(a)
+}
+
+// moveDrivers advances every driver's state machine by dt seconds.
+func (w *World) moveDrivers(dt float64) {
+	speed := StreetSpeed(w.now)
+	for i := 0; i < len(w.drivers); i++ {
+		d := w.drivers[i]
+		switch d.State {
+		case StateIdle:
+			if d.OfflineAt <= w.now {
+				w.removeDriver(i)
+				i--
+				continue
+			}
+			w.cruise(d, dt)
+		case StateEnRoute:
+			if d.stepToward(d.Pickup, speed*dt/manhattanFactor) {
+				// Passenger boards; trip begins.
+				d.State = StateOnTrip
+			}
+		case StateOnTrip:
+			if d.stepToward(d.Dest, speed*dt/manhattanFactor) {
+				if d.destDrop {
+					w.TotalDropoffs++
+					if d.PoolRiders > 0 {
+						d.PoolRiders--
+					}
+				}
+				// A shared POOL trip continues through its stop queue.
+				if len(d.stops) > 0 {
+					next := d.stops[0]
+					d.stops = d.stops[1:]
+					d.Dest = next.Pos
+					d.destDrop = next.Drop
+					break
+				}
+				d.PoolRiders = 0
+				if d.OfflineAt <= w.now {
+					w.removeDriver(i)
+					i--
+					continue
+				}
+				d.State = StateIdle
+				d.idleSince = w.now
+				d.cruiseTarget = w.samplePlace()
+				d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
+				w.grids[int(d.Type)].Insert(d.ID, d.Pos)
+			}
+		}
+		d.recordPath()
+	}
+}
+
+// cruise moves an idle driver toward its cruise target, re-rolling the
+// target when reached or expired. Idle drivers drift toward hotspots most
+// of the time, producing the spatial skew in Figs 9 and 10.
+func (w *World) cruise(d *Driver, dt float64) {
+	if w.cfg.Pricing == PricingDriverSet && w.now-d.idleSince > 1200 {
+		// No fare for 20 minutes: lower the asking price and keep
+		// waiting (lose-shift).
+		d.PriceFactor = clampFactor(d.PriceFactor - 0.1)
+		d.idleSince = w.now
+	}
+	if w.now >= d.cruiseUntil || geo.Dist(d.Pos, d.cruiseTarget) < 20 {
+		d.cruiseTarget = w.samplePlace()
+		d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
+	}
+	// Jittered heading toward the target.
+	v := d.cruiseTarget.Sub(d.Pos)
+	n := v.Norm()
+	if n < 1 {
+		return
+	}
+	step := idleSpeed * dt
+	move := v.Scale(step / n)
+	move.X += w.rng.NormFloat64() * step * 0.3
+	move.Y += w.rng.NormFloat64() * step * 0.3
+	d.Pos = w.profile.Region.Clamp(d.Pos.Add(move))
+	w.grids[int(d.Type)].Move(d.ID, d.Pos)
+}
+
+// generateRequests draws passenger requests from the non-homogeneous
+// Poisson demand process and dispatches the fulfilled ones.
+func (w *World) generateRequests(dt float64) {
+	p := w.profile
+	curve := &p.DemandDiurnal
+	if Weekend(w.now) {
+		curve = &p.WeekendDemandDiurnal
+	}
+	rate := p.PeakRequestsPerHour / 3600 * curve[HourOfDay(w.now)]
+	n := poisson(w.rng, rate*dt)
+	for i := 0; i < n; i++ {
+		w.oneRequest()
+	}
+}
+
+func (w *World) oneRequest() {
+	pickup := w.samplePlace()
+	area := AreaOf(w.areas, pickup)
+	w.oneRequestAt(pickup, area)
+	if area >= 0 {
+		// A shock multiplies arrivals: each unit of factor above 1 adds an
+		// extra request at the same spot with the fractional remainder
+		// drawn probabilistically.
+		extra := w.shockFactor(area) - 1
+		for extra > 0 {
+			if extra >= 1 || w.rng.Float64() < extra {
+				w.oneRequestAt(pickup, area)
+			}
+			extra--
+		}
+	}
+}
+
+func (w *World) oneRequestAt(pickup geo.Point, area int) {
+	vt := core.VehicleType(w.sampleShare(w.demandCDF))
+	if area >= 0 {
+		st := &w.areaStats[area]
+		st.LatentDemand++
+		// The engine's EWT feature is demand-weighted: the wait a rider
+		// at this pickup point would experience. (Sampling at area
+		// centroids instead systematically inflates areas whose demand
+		// clusters off-center.)
+		st.EWTSum += w.EWT(core.UberX, pickup)
+		st.EWTN++
+	}
+
+	// UberPOOL first tries to share an in-progress POOL trip passing
+	// nearby (§2: "Uber will assign multiple passengers to each
+	// vehicle"); pool seats are cheap, so elasticity is skipped.
+	if vt == core.UberPOOL && w.joinPool(pickup, area) {
+		return
+	}
+
+	// Select the driver and the price multiplier the passenger faces.
+	var d *Driver
+	var price float64
+	switch w.cfg.Pricing {
+	case PricingDriverSet:
+		// Sidecar-style market (§8): passengers see the nearby drivers'
+		// self-set prices and take the cheapest.
+		near := w.grids[int(vt)].KNearest(pickup, 4)
+		for _, n := range near {
+			if n.Dist > dispatchRadius {
+				continue
+			}
+			idx, ok := w.driverIdx[n.ID]
+			if !ok {
+				continue
+			}
+			cand := w.drivers[idx]
+			if d == nil || cand.PriceFactor < d.PriceFactor {
+				d = cand
+			}
+		}
+		if d != nil {
+			price = d.PriceFactor
+		}
+	default:
+		near := w.grids[int(vt)].KNearest(pickup, 1)
+		if len(near) == 1 && near[0].Dist <= dispatchRadius {
+			if idx, ok := w.driverIdx[near[0].ID]; ok {
+				d = w.drivers[idx]
+			}
+		}
+		price = 1
+		if vt.Surgeable() {
+			price = w.surgeWeight(pickup)
+		}
+	}
+
+	// Price elasticity: high prices scare some passengers off entirely
+	// (§5.5's large negative demand effect). Applies to either market.
+	if vt.Surgeable() && price > 1 {
+		dropP := w.profile.Elasticity * (price - 1)
+		if dropP > 0.95 {
+			dropP = 0.95
+		}
+		if w.rng.Float64() < dropP {
+			w.TotalPricedOut++
+			if area >= 0 {
+				w.areaStats[area].PricedOut++
+			}
+			return
+		}
+	}
+
+	if d == nil {
+		w.TotalUnmet++
+		if area >= 0 {
+			w.areaStats[area].Unfulfilled++
+		}
+		return
+	}
+
+	// Book the driver: the car disappears from the map.
+	if w.cfg.Pricing == PricingDriverSet && w.now-d.idleSince < 300 {
+		// Booked within 5 minutes of becoming available: demand is hot,
+		// raise the asking price (win-stay).
+		d.PriceFactor = clampFactor(d.PriceFactor + 0.1)
+	}
+	d.State = StateEnRoute
+	d.Pickup = pickup
+	d.Dest = w.samplePlace()
+	d.destDrop = true
+	d.stops = nil
+	d.PoolRiders = 1
+	w.grids[int(d.Type)].Remove(d.ID)
+	w.TotalPickups++
+	w.priceSum += price
+	w.priceSumSq += price * price
+	w.priceN++
+	w.settleFare(d, pickup, d.Dest, price, area)
+	if area >= 0 {
+		w.areaStats[area].Pickups++
+	}
+}
+
+// settleFare charges the passenger the upfront fare for the trip estimate
+// and splits it between the driver (80%) and the platform (20%).
+func (w *World) settleFare(d *Driver, pickup, dest geo.Point, multiplier float64, area int) {
+	meters := geo.Dist(pickup, dest) * manhattanFactor
+	seconds := meters/StreetSpeed(w.now) + tripStopSeconds
+	fare := w.fares[d.Type].Fare(meters, seconds, multiplier)
+	w.FareVolume += fare
+	w.CommissionUSD += fare * CommissionRate
+	d.EarnedUSD += fare * (1 - CommissionRate)
+	if area >= 0 {
+		w.AreaFares[area] += fare
+	}
+}
+
+// poolMatchRadius is how close an in-progress POOL trip must pass for a
+// new rider to share it.
+const poolMatchRadius = 800.0
+
+// joinPool tries to add the rider to an existing single-rider POOL trip
+// nearby. The diverted route picks the new rider up first, then serves
+// both drop-offs.
+func (w *World) joinPool(pickup geo.Point, area int) bool {
+	for _, d := range w.drivers {
+		if d.Type != core.UberPOOL || d.State != StateOnTrip {
+			continue
+		}
+		if d.PoolRiders != 1 || len(d.stops) > 0 || !d.destDrop {
+			continue
+		}
+		if geo.Dist(d.Pos, pickup) > poolMatchRadius {
+			continue
+		}
+		d.stops = []PoolStop{
+			{Pos: d.Dest, Drop: true},
+			{Pos: w.samplePlace(), Drop: true},
+		}
+		joinDest := d.stops[1].Pos
+		d.Dest = pickup
+		d.destDrop = false
+		d.PoolRiders = 2
+		w.TotalPickups++
+		w.TotalPoolJoins++
+		w.priceSum++ // pool seats ride at multiplier 1
+		w.priceSumSq++
+		w.priceN++
+		w.settleFare(d, pickup, joinDest, 1, area)
+		if area >= 0 {
+			w.areaStats[area].Pickups++
+		}
+		return true
+	}
+	return false
+}
+
+// clampFactor bounds a driver-set price factor to a plausible market
+// range.
+func clampFactor(f float64) float64 {
+	if f < 0.7 {
+		return 0.7
+	}
+	if f > 2.5 {
+		return 2.5
+	}
+	return f
+}
+
+// accumulateStats samples per-area idle/busy counts and centroid EWTs for
+// the surge engine's trailing window.
+func (w *World) accumulateStats() {
+	counts := make([]struct{ idle, busy float64 }, len(w.areas))
+	for _, d := range w.drivers {
+		if !d.Type.Surgeable() {
+			continue
+		}
+		a := AreaOf(w.areas, d.Pos)
+		if a < 0 {
+			continue
+		}
+		if d.State == StateIdle {
+			counts[a].idle++
+		} else {
+			counts[a].busy++
+		}
+	}
+	for i := range w.areas {
+		st := &w.areaStats[i]
+		st.Ticks++
+		st.IdleCarTicks += counts[i].idle
+		st.BusyCarTicks += counts[i].busy
+	}
+}
+
+// ConsumeWindow returns and resets the accumulated stats for an area; the
+// surge engine calls this at each 5-minute update.
+func (w *World) ConsumeWindow(area int) WindowStats {
+	st := w.areaStats[area]
+	w.areaStats[area] = WindowStats{}
+	return st
+}
+
+// PeekWindow returns the accumulated stats without resetting them.
+func (w *World) PeekWindow(area int) WindowStats { return w.areaStats[area] }
+
+// EWT returns the estimated wait time in seconds for a product at a
+// location: dispatch overhead plus the street-grid travel time of the
+// nearest idle car, capped at the paper's observed 43-minute maximum.
+func (w *World) EWT(vt core.VehicleType, pos geo.Point) float64 {
+	near := w.grids[int(vt)].KNearest(pos, 1)
+	if len(near) == 0 {
+		return maxEWTSeconds
+	}
+	t := dispatchOverhead + near[0].Dist*manhattanFactor/StreetSpeed(w.now)
+	if t > maxEWTSeconds {
+		t = maxEWTSeconds
+	}
+	return t
+}
+
+// NearestCars returns up to k idle cars of the product nearest to pos, as
+// pingClient would render them: randomized session IDs, lat/lng positions,
+// and recent path vectors.
+func (w *World) NearestCars(vt core.VehicleType, pos geo.Point, k int) []core.CarView {
+	near := w.grids[int(vt)].KNearest(pos, k)
+	out := make([]core.CarView, 0, len(near))
+	for _, n := range near {
+		idx, ok := w.driverIdx[n.ID]
+		if !ok {
+			continue
+		}
+		d := w.drivers[idx]
+		pts := d.PathPoints()
+		path := make([]geo.LatLng, len(pts))
+		for i, p := range pts {
+			path[i] = w.proj.ToLatLng(p)
+		}
+		out = append(out, core.CarView{
+			ID:   d.Session,
+			Pos:  w.proj.ToLatLng(d.Pos),
+			Path: path,
+		})
+	}
+	return out
+}
+
+// CountByState returns how many online drivers of the product are in each
+// state; ground truth for validation and tests.
+func (w *World) CountByState(vt core.VehicleType) (idle, enroute, ontrip int) {
+	for _, d := range w.drivers {
+		if d.Type != vt {
+			continue
+		}
+		switch d.State {
+		case StateIdle:
+			idle++
+		case StateEnRoute:
+			enroute++
+		case StateOnTrip:
+			ontrip++
+		}
+	}
+	return
+}
+
+// OnlineDrivers returns the number of online drivers across all products.
+func (w *World) OnlineDrivers() int { return len(w.drivers) }
+
+// EachDriver visits every online driver in deterministic order.
+func (w *World) EachDriver(fn func(d *Driver)) {
+	for _, d := range w.drivers {
+		fn(d)
+	}
+}
+
+// poisson draws a Poisson-distributed count with the given mean using
+// Knuth's method (the means here are well below 30 per tick).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // guard against pathological means
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleCDF() {
+	waits := []float64{1.2, 2.5, 3.1, 3.8, 4.4, 9.9} // minutes
+	c := stats.NewCDF(waits)
+	fmt.Printf("P(EWT <= 4 min) = %.2f\n", c.At(4))
+	fmt.Printf("median = %.2f min\n", c.Median())
+	// Output:
+	// P(EWT <= 4 min) = 0.67
+	// median = 3.45 min
+}
+
+func ExampleFitOLS() {
+	// Fit y = 1 + 2x exactly.
+	rows := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{3, 5, 7, 9}
+	reg, err := stats.FitOLS(rows, y)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("y = %.1f + %.1fx (R² = %.2f)\n", reg.Intercept, reg.Coef[0], reg.R2)
+	// Output:
+	// y = 1.0 + 2.0x (R² = 1.00)
+}
+
+func ExampleCrossCorrelate() {
+	x := []float64{1, 2, 3, 4, 5, 4, 3, 2, 1, 2, 3, 4}
+	y := append([]float64{0}, x[:len(x)-1]...) // y lags x by one step
+	for _, lc := range stats.CrossCorrelate(x, y, 1) {
+		if lc.HasR && lc.Lag == 1 {
+			fmt.Printf("correlation at lag +1: %.2f\n", lc.R)
+		}
+	}
+	// Output:
+	// correlation at lag +1: 1.00
+}

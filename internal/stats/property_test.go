@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func floatsConfig(n int, scale float64) *quick.Config {
+	return &quick.Config{
+		MaxCount: n,
+		Values: func(vs []reflect.Value, rng *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(rng.Float64()*scale - scale/2)
+			}
+		},
+	}
+}
+
+// Pearson is invariant to affine transforms with positive slope.
+func TestPearsonAffineInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.5*x[i] + rng.NormFloat64()
+	}
+	r0, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		scale := math.Abs(a) + 0.1
+		y2 := make([]float64, len(y))
+		for i := range y {
+			y2[i] = scale*y[i] + b
+		}
+		r1, err := Pearson(x, y2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r1-r0) < 1e-9
+	}
+	if err := quick.Check(f, floatsConfig(50, 100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// CDF.At is monotone non-decreasing in x.
+func TestCDFAtMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	c := NewCDF(xs)
+	f := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return c.At(lo) <= c.At(hi)+1e-12
+	}
+	if err := quick.Check(f, floatsConfig(200, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Quantile stays within the sample's range and is monotone in q.
+func TestQuantileRangeAndMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.Float64()*50 - 25
+	}
+	c := NewCDF(xs)
+	min, max := c.Quantile(0), c.Quantile(1)
+	f := func(q1, q2 float64) bool {
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		vLo, vHi := c.Quantile(lo), c.Quantile(hi)
+		return vLo <= vHi+1e-12 && vLo >= min-1e-12 && vHi <= max+1e-12
+	}
+	if err := quick.Check(f, floatsConfig(200, 2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// RegIncBeta is monotone non-decreasing in x for fixed (a, b).
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw, x1, x2 float64) bool {
+		a := math.Abs(math.Mod(aRaw, 10)) + 0.2
+		b := math.Abs(math.Mod(bRaw, 10)) + 0.2
+		u := math.Abs(math.Mod(x1, 1))
+		v := math.Abs(math.Mod(x2, 1))
+		lo, hi := math.Min(u, v), math.Max(u, v)
+		return RegIncBeta(a, b, lo) <= RegIncBeta(a, b, hi)+1e-9
+	}
+	if err := quick.Check(f, floatsConfig(200, 20)); err != nil {
+		t.Error(err)
+	}
+}
+
+// RegIncBeta symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestRegIncBetaSymmetryProperty(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 8)) + 0.3
+		b := math.Abs(math.Mod(bRaw, 8)) + 0.3
+		x := math.Abs(math.Mod(xRaw, 1))
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return math.Abs(lhs-rhs) < 1e-8
+	}
+	if err := quick.Check(f, floatsConfig(200, 20)); err != nil {
+		t.Error(err)
+	}
+}
+
+// OLS residuals are orthogonal to the fitted features (normal equations).
+func TestOLSResidualOrthogonalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 80
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = 1 + 2*rows[i][0] - rows[i][1] + rng.NormFloat64()
+		}
+		reg, err := FitOLS(rows, y)
+		if err != nil {
+			return false
+		}
+		var s0, s1, sI float64
+		for i := 0; i < n; i++ {
+			r := y[i] - reg.Predict(rows[i])
+			s0 += r * rows[i][0]
+			s1 += r * rows[i][1]
+			sI += r
+		}
+		return math.Abs(s0) < 1e-6*float64(n) &&
+			math.Abs(s1) < 1e-6*float64(n) &&
+			math.Abs(sI) < 1e-6*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regression is a fitted ordinary-least-squares linear model
+// y = Intercept + Σ Coef[i]·x[i], with its R² score on the training data.
+// The paper's Table 1 fits three-feature models (supply−demand difference,
+// EWT, previous surge multiplier) to predict the next interval's surge.
+type Regression struct {
+	Intercept float64
+	Coef      []float64
+	R2        float64
+	N         int
+}
+
+// FitOLS fits y ≈ intercept + X·coef by solving the normal equations with
+// Gaussian elimination (partial pivoting). rows[i] is the feature vector for
+// sample i. All rows must share the same length.
+func FitOLS(rows [][]float64, y []float64) (*Regression, error) {
+	n := len(rows)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: empty or mismatched regression input")
+	}
+	p := len(rows[0])
+	for i, r := range rows {
+		if len(r) != p {
+			return nil, fmt.Errorf("stats: row %d has %d features, want %d", i, len(r), p)
+		}
+	}
+	if n <= p {
+		return nil, fmt.Errorf("stats: need more samples (%d) than features (%d)", n, p)
+	}
+	d := p + 1 // intercept column
+
+	// Build X'X and X'y with an implicit leading 1 column.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	feat := func(row []float64, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return row[j-1]
+	}
+	for s := 0; s < n; s++ {
+		for i := 0; i < d; i++ {
+			fi := feat(rows[s], i)
+			xty[i] += fi * y[s]
+			for j := i; j < d; j++ {
+				xtx[i][j] += fi * feat(rows[s], j)
+			}
+		}
+	}
+	for i := 1; i < d; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	beta, err := solveLinear(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := &Regression{Intercept: beta[0], Coef: beta[1:], N: n}
+	// R² on training data.
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for s := 0; s < n; s++ {
+		pred := reg.Predict(rows[s])
+		ssRes += (y[s] - pred) * (y[s] - pred)
+		ssTot += (y[s] - my) * (y[s] - my)
+	}
+	if ssTot == 0 {
+		reg.R2 = 0
+	} else {
+		reg.R2 = 1 - ssRes/ssTot
+	}
+	return reg, nil
+}
+
+// Predict evaluates the fitted model on a feature vector.
+func (r *Regression) Predict(x []float64) float64 {
+	y := r.Intercept
+	for i, c := range r.Coef {
+		if i < len(x) {
+			y += c * x[i]
+		}
+	}
+	return y
+}
+
+// Score returns R² of the model evaluated on a held-out set.
+func (r *Regression) Score(rows [][]float64, y []float64) float64 {
+	if len(rows) == 0 || len(rows) != len(y) {
+		return math.NaN()
+	}
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i := range rows {
+		pred := r.Predict(rows[i])
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// solveLinear solves A·x = b with Gaussian elimination and partial pivoting.
+// A and b are modified in place.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, errors.New("stats: singular design matrix (collinear features)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitOLSRecoversKnownCoefficients(t *testing.T) {
+	// y = 3 + 2*x1 - 0.5*x2 + noise
+	rng := rand.New(rand.NewSource(17))
+	n := 2000
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1 := rng.Float64() * 10
+		x2 := rng.Float64() * 4
+		rows[i] = []float64{x1, x2}
+		y[i] = 3 + 2*x1 - 0.5*x2 + rng.NormFloat64()*0.1
+	}
+	reg, err := FitOLS(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.Intercept-3) > 0.05 {
+		t.Errorf("intercept = %v, want ~3", reg.Intercept)
+	}
+	if math.Abs(reg.Coef[0]-2) > 0.02 {
+		t.Errorf("coef[0] = %v, want ~2", reg.Coef[0])
+	}
+	if math.Abs(reg.Coef[1]+0.5) > 0.02 {
+		t.Errorf("coef[1] = %v, want ~-0.5", reg.Coef[1])
+	}
+	if reg.R2 < 0.99 {
+		t.Errorf("R2 = %v, want ~1", reg.R2)
+	}
+	if reg.N != n {
+		t.Errorf("N = %d", reg.N)
+	}
+}
+
+func TestFitOLSPerfectFit(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	reg, err := FitOLS(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.R2-1) > 1e-10 {
+		t.Errorf("R2 = %v, want 1", reg.R2)
+	}
+	if math.Abs(reg.Predict([]float64{10})-21) > 1e-9 {
+		t.Errorf("Predict(10) = %v, want 21", reg.Predict([]float64{10}))
+	}
+}
+
+func TestFitOLSNoisyR2Low(t *testing.T) {
+	// Pure noise target: R² should be near zero.
+	rng := rand.New(rand.NewSource(23))
+	n := 5000
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []float64{rng.Float64()}
+		y[i] = rng.NormFloat64()
+	}
+	reg, err := FitOLS(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.R2 > 0.01 {
+		t.Errorf("R2 = %v, want ~0 for noise", reg.R2)
+	}
+}
+
+func TestFitOLSErrors(t *testing.T) {
+	if _, err := FitOLS(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitOLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitOLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	// Collinear features -> singular matrix.
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := FitOLS(rows, y); err == nil {
+		t.Error("collinear features should error")
+	}
+	// Fewer samples than features.
+	if _, err := FitOLS([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Error("underdetermined should error")
+	}
+}
+
+func TestRegressionScoreHeldOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mk := func(n int) ([][]float64, []float64) {
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * 5
+			rows[i] = []float64{x}
+			y[i] = 1 + 4*x + rng.NormFloat64()*0.5
+		}
+		return rows, y
+	}
+	trainX, trainY := mk(1000)
+	testX, testY := mk(500)
+	reg, err := FitOLS(trainX, trainY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := reg.Score(testX, testY)
+	if score < 0.95 {
+		t.Errorf("held-out R2 = %v, want > 0.95", score)
+	}
+	if !math.IsNaN(reg.Score(nil, nil)) {
+		t.Error("empty Score should be NaN")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := solveLinear(a, b); err == nil {
+		t.Error("singular system should error")
+	}
+}

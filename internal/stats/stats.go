@@ -1,0 +1,310 @@
+// Package stats implements the statistical machinery the paper's analysis
+// relies on: means with 95% confidence intervals, empirical CDFs and
+// quantiles, Pearson and lagged cross-correlation with p-values, and
+// ordinary-least-squares multiple linear regression with R² scores
+// (§5.4's Raw/Threshold/Rush models).
+//
+// Everything is implemented from scratch on top of math; the p-value for a
+// correlation coefficient uses the exact t-distribution via the regularized
+// incomplete beta function.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN if len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanCI holds a sample mean together with the half-width of its 95%
+// confidence interval, the form in which the paper reports every aggregate
+// ("3.0 ± 2×10⁻⁴ minutes").
+type MeanCI struct {
+	Mean float64
+	CI   float64 // 95% half-width
+	N    int
+}
+
+// MeanWithCI computes the mean and its 95% confidence half-width using the
+// normal approximation (the paper's samples are all n >> 30).
+func MeanWithCI(xs []float64) MeanCI {
+	n := len(xs)
+	if n == 0 {
+		return MeanCI{Mean: math.NaN(), CI: math.NaN()}
+	}
+	m := Mean(xs)
+	if n < 2 {
+		return MeanCI{Mean: m, CI: math.NaN(), N: n}
+	}
+	se := StdDev(xs) / math.Sqrt(float64(n))
+	return MeanCI{Mean: m, CI: 1.96 * se, N: n}
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample (which it copies).
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation between order statistics.
+func (c *CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Points returns up to n evenly spaced (x, P(X<=x)) pairs suitable for
+// rendering the CDF curves in the paper's figures.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(c.sorted) - 1) / maxInt(n-1, 1)
+		x := c.sorted[idx]
+		out = append(out, [2]float64{x, float64(idx+1) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns an error if the series differ in length, are shorter than 3,
+// or either has zero variance.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	n := len(x)
+	if n < 3 {
+		return 0, errors.New("stats: need at least 3 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CorrelationPValue returns the two-sided p-value for the null hypothesis of
+// zero correlation, given coefficient r over n samples, using the exact
+// t-distribution with n-2 degrees of freedom.
+func CorrelationPValue(r float64, n int) float64 {
+	if n <= 2 {
+		return math.NaN()
+	}
+	if math.Abs(r) >= 1 {
+		return 0
+	}
+	df := float64(n - 2)
+	t := r * math.Sqrt(df/(1-r*r))
+	return 2 * studentTSF(math.Abs(t), df)
+}
+
+// studentTSF returns P(T > t) for a Student t with df degrees of freedom.
+func studentTSF(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// LagCorrelation is one point of a cross-correlation sweep: the correlation
+// between surge(t) and feature(t+lag), with its p-value.
+type LagCorrelation struct {
+	Lag  int // in series steps (5-minute intervals in the paper)
+	R    float64
+	P    float64
+	N    int
+	HasR bool
+}
+
+// CrossCorrelate computes the correlation between x(t) and y(t+lag) for each
+// lag in [-maxLag, maxLag], reproducing the sweeps in Figures 20 and 21.
+// NaN entries in either series cause that aligned pair to be skipped.
+func CrossCorrelate(x, y []float64, maxLag int) []LagCorrelation {
+	out := make([]LagCorrelation, 0, 2*maxLag+1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		var xs, ys []float64
+		for t := range x {
+			u := t + lag
+			if u < 0 || u >= len(y) {
+				continue
+			}
+			if math.IsNaN(x[t]) || math.IsNaN(y[u]) {
+				continue
+			}
+			xs = append(xs, x[t])
+			ys = append(ys, y[u])
+		}
+		lc := LagCorrelation{Lag: lag, N: len(xs)}
+		if r, err := Pearson(xs, ys); err == nil {
+			lc.R = r
+			lc.P = CorrelationPValue(r, len(xs))
+			lc.HasR = true
+		}
+		out = append(out, lc)
+	}
+	return out
+}

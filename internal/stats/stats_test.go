@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+}
+
+func TestMeanWithCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	mc := MeanWithCI(xs)
+	if math.Abs(mc.Mean-10) > 0.1 {
+		t.Errorf("Mean = %v, want ~10", mc.Mean)
+	}
+	// CI half-width should be about 1.96*2/sqrt(10000) = 0.0392.
+	if mc.CI < 0.03 || mc.CI > 0.05 {
+		t.Errorf("CI = %v, want ~0.039", mc.CI)
+	}
+	if mc.N != 10000 {
+		t.Errorf("N = %d", mc.N)
+	}
+	empty := MeanWithCI(nil)
+	if !math.IsNaN(empty.Mean) {
+		t.Error("empty CI should be NaN")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	if got := c.At(3); got != 0.6 {
+		t.Errorf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Median(); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Errorf("Quantile(1) = %v, want 5", got)
+	}
+	if got := c.Quantile(0.25); got != 2 {
+		t.Errorf("Quantile(0.25) = %v, want 2", got)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.At(c.Quantile(q))
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("len = %d, want 5", len(pts))
+	}
+	if pts[0][0] != 1 || pts[4][0] != 10 {
+		t.Errorf("endpoints wrong: %v", pts)
+	}
+	if pts[4][1] != 1.0 {
+		t.Errorf("last cumulative fraction = %v, want 1", pts[4][1])
+	}
+	if (&CDF{}).Points(5) != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v err = %v, want 1", r, err)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, yneg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too short should error")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestPearsonIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 20000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.03 {
+		t.Errorf("independent r = %v, want ~0", r)
+	}
+	p := CorrelationPValue(r, n)
+	if p < 0.01 {
+		t.Errorf("p = %v, should not be significant", p)
+	}
+}
+
+func TestCorrelationPValueSignificance(t *testing.T) {
+	// Strong correlation over many samples must give a tiny p-value.
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.8*x[i] + 0.2*rng.NormFloat64()
+	}
+	r, _ := Pearson(x, y)
+	p := CorrelationPValue(r, n)
+	if p > 1e-10 {
+		t.Errorf("p = %v, want ~0 for r=%v n=%v", p, r, n)
+	}
+	if !math.IsNaN(CorrelationPValue(0.5, 2)) {
+		t.Error("n<=2 should be NaN")
+	}
+	if CorrelationPValue(1.0, 100) != 0 {
+		t.Error("|r|=1 should give p=0")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x  (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_0.5(a,a) = 0.5 by symmetry.
+	for _, a := range []float64{0.5, 2, 7.5} {
+		if got := RegIncBeta(a, a, 0.5); math.Abs(got-0.5) > 1e-10 {
+			t.Errorf("I_0.5(%v,%v) = %v, want 0.5", a, a, got)
+		}
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestStudentTMatchesNormalForLargeDF(t *testing.T) {
+	// For df -> inf, P(T > 1.96) -> 0.025.
+	p := studentTSF(1.96, 1e6)
+	if math.Abs(p-0.025) > 0.001 {
+		t.Errorf("P(T>1.96, df=1e6) = %v, want ~0.025", p)
+	}
+	// Exact value for df=1 (Cauchy): P(T > 1) = 0.25.
+	p = studentTSF(1, 1)
+	if math.Abs(p-0.25) > 1e-6 {
+		t.Errorf("P(T>1, df=1) = %v, want 0.25", p)
+	}
+}
+
+func TestCrossCorrelatePeakAtKnownLag(t *testing.T) {
+	// y is x shifted by +3 steps: y(t+3) = x(t), so correlating x(t) with
+	// y(t+lag) must peak at lag = +3.
+	rng := rand.New(rand.NewSource(9))
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, n)
+	for i := 3; i < n; i++ {
+		y[i] = x[i-3]
+	}
+	res := CrossCorrelate(x, y, 10)
+	best := res[0]
+	for _, lc := range res {
+		if lc.HasR && lc.R > best.R {
+			best = lc
+		}
+	}
+	if best.Lag != 3 {
+		t.Errorf("peak at lag %d, want 3 (r=%v)", best.Lag, best.R)
+	}
+	if best.R < 0.95 {
+		t.Errorf("peak r = %v, want ~1", best.R)
+	}
+}
+
+func TestCrossCorrelateSkipsNaN(t *testing.T) {
+	x := []float64{1, 2, math.NaN(), 4, 5, 6, 7, 8}
+	y := []float64{2, 4, 6, math.NaN(), 10, 12, 14, 16}
+	res := CrossCorrelate(x, y, 0)
+	if len(res) != 1 {
+		t.Fatalf("len = %d", len(res))
+	}
+	if !res[0].HasR {
+		t.Fatal("expected a correlation")
+	}
+	if res[0].N != 6 {
+		t.Errorf("N = %d, want 6 (two NaN pairs dropped)", res[0].N)
+	}
+	if math.Abs(res[0].R-1) > 1e-12 {
+		t.Errorf("r = %v, want 1", res[0].R)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import "math"
+
+// Series is a regularly spaced time series: Values[i] covers the interval
+// [Start + i·Step, Start + (i+1)·Step) in simulation seconds. The paper's
+// analysis works in 5-minute buckets; Step is therefore usually 300.
+type Series struct {
+	Start  int64 // simulation time of the first bucket, seconds
+	Step   int64 // bucket width, seconds
+	Values []float64
+}
+
+// NewSeries allocates a series of n buckets initialized to NaN (missing).
+func NewSeries(start, step int64, n int) *Series {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.NaN()
+	}
+	return &Series{Start: start, Step: step, Values: v}
+}
+
+// Index returns the bucket index for time t, which may be out of range.
+// Times before Start map to negative indices (floor division).
+func (s *Series) Index(t int64) int {
+	d := t - s.Start
+	if d < 0 {
+		return int((d - s.Step + 1) / s.Step)
+	}
+	return int(d / s.Step)
+}
+
+// At returns the value covering time t, or NaN if out of range.
+func (s *Series) At(t int64) float64 {
+	i := s.Index(t)
+	if i < 0 || i >= len(s.Values) {
+		return math.NaN()
+	}
+	return s.Values[i]
+}
+
+// Set assigns the bucket covering time t; out-of-range times are ignored.
+func (s *Series) Set(t int64, v float64) {
+	i := s.Index(t)
+	if i >= 0 && i < len(s.Values) {
+		s.Values[i] = v
+	}
+}
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Accumulator builds bucket means incrementally: feed raw samples with Add,
+// then call Means to collapse each bucket to its average. This is exactly
+// how the paper turns 5-second ping observations into 5-minute features.
+type Accumulator struct {
+	Start int64
+	Step  int64
+	sum   []float64
+	n     []int
+}
+
+// NewAccumulator allocates an accumulator with nBuckets buckets.
+func NewAccumulator(start, step int64, nBuckets int) *Accumulator {
+	return &Accumulator{
+		Start: start,
+		Step:  step,
+		sum:   make([]float64, nBuckets),
+		n:     make([]int, nBuckets),
+	}
+}
+
+func (a *Accumulator) index(t int64) int {
+	d := t - a.Start
+	if d < 0 {
+		return -1
+	}
+	return int(d / a.Step)
+}
+
+// Add records one raw sample at time t. Samples outside the covered range
+// are dropped.
+func (a *Accumulator) Add(t int64, v float64) {
+	i := a.index(t)
+	if i < 0 || i >= len(a.sum) {
+		return
+	}
+	a.sum[i] += v
+	a.n[i]++
+}
+
+// AddCount increments the bucket at time t by v without affecting the
+// denominator used by Means; used for event counts per bucket (deaths).
+func (a *Accumulator) AddCount(t int64, v float64) {
+	i := a.index(t)
+	if i < 0 || i >= len(a.sum) {
+		return
+	}
+	a.sum[i] += v
+	if a.n[i] == 0 {
+		a.n[i] = 1
+	}
+}
+
+// Means returns the per-bucket averages as a Series; empty buckets are NaN.
+func (a *Accumulator) Means() *Series {
+	s := NewSeries(a.Start, a.Step, len(a.sum))
+	for i := range a.sum {
+		if a.n[i] > 0 {
+			s.Values[i] = a.sum[i] / float64(a.n[i])
+		}
+	}
+	return s
+}
+
+// Sums returns the per-bucket sums as a Series; untouched buckets are NaN.
+func (a *Accumulator) Sums() *Series {
+	s := NewSeries(a.Start, a.Step, len(a.sum))
+	for i := range a.sum {
+		if a.n[i] > 0 {
+			s.Values[i] = a.sum[i]
+		}
+	}
+	return s
+}
+
+// Histogram counts samples into uniform bins over [min, max); samples
+// outside the range clamp into the first or last bin.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram creates a histogram with n bins spanning [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Fraction returns the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}

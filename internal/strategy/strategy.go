@@ -1,0 +1,182 @@
+// Package strategy implements §6's surge-avoidance technique: since
+// short-term surge cannot be forecast, exploit the surge-area partition
+// instead. Query the price and time APIs for adjacent surge areas; if
+// some area has a lower multiplier and the walk to it takes no longer
+// than the car's EWT there, the passenger can book immediately at the
+// lower price and walk to the pickup point before the car arrives.
+package strategy
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Option is one candidate pickup relocation.
+type Option struct {
+	Area        int
+	Target      geo.Point // where to walk (just inside the adjacent area)
+	Surge       float64
+	EWTSeconds  float64
+	WalkSeconds float64
+	// Feasible: cheaper multiplier and reachable before the car arrives.
+	Feasible bool
+}
+
+// Advice is the outcome of one strategy query.
+type Advice struct {
+	CurrentArea  int
+	CurrentSurge float64
+	Options      []Option
+	// Best is the feasible option with the lowest multiplier (ties:
+	// shortest walk); nil when staying put is optimal.
+	Best *Option
+}
+
+// Savings returns the multiplier reduction of the best option (0 if none).
+func (a *Advice) Savings() float64 {
+	if a.Best == nil {
+		return 0
+	}
+	return a.CurrentSurge - a.Best.Surge
+}
+
+// Advisor evaluates the strategy against a backend through its public
+// API, exactly as a passenger-facing app would (§6 assumes API data:
+// 5-minute updates, no jitter, but live EWTs).
+type Advisor struct {
+	Svc      core.Service
+	ClientID string
+	Proj     *geo.Projection
+	Areas    []geo.Polygon
+
+	// EntryMargin is how far inside the adjacent area the walk target is
+	// placed (pickup points on the exact boundary are ambiguous).
+	EntryMargin float64
+}
+
+// NewAdvisor builds an advisor; register the account on the backend
+// first.
+func NewAdvisor(svc core.Service, clientID string, profile *sim.CityProfile) *Advisor {
+	return &Advisor{
+		Svc:         svc,
+		ClientID:    clientID,
+		Proj:        geo.NewProjection(profile.Origin),
+		Areas:       profile.SurgeAreas(),
+		EntryMargin: 30,
+	}
+}
+
+// Advise evaluates every adjacent surge area from pos.
+func (ad *Advisor) Advise(pos geo.Point) (*Advice, error) {
+	curArea := sim.AreaOf(ad.Areas, pos)
+	curSurge, _, err := ad.query(pos)
+	if err != nil {
+		return nil, err
+	}
+	adv := &Advice{CurrentArea: curArea, CurrentSurge: curSurge}
+	for a := range ad.Areas {
+		if a == curArea {
+			continue
+		}
+		target := ad.entryPoint(pos, a)
+		surge, ewt, err := ad.query(target)
+		if err != nil {
+			return nil, err
+		}
+		walk := geo.WalkingTime(pos, target)
+		opt := Option{
+			Area:        a,
+			Target:      target,
+			Surge:       surge,
+			EWTSeconds:  ewt,
+			WalkSeconds: walk,
+			Feasible:    surge < curSurge && walk <= ewt,
+		}
+		adv.Options = append(adv.Options, opt)
+		if opt.Feasible && (adv.Best == nil ||
+			opt.Surge < adv.Best.Surge ||
+			(opt.Surge == adv.Best.Surge && opt.WalkSeconds < adv.Best.WalkSeconds)) {
+			o := opt
+			adv.Best = &o
+		}
+	}
+	return adv, nil
+}
+
+// query fetches the UberX multiplier and EWT at a plane position via the
+// public API.
+func (ad *Advisor) query(pos geo.Point) (surge, ewt float64, err error) {
+	loc := ad.Proj.ToLatLng(pos)
+	prices, err := ad.Svc.EstimatePrice(ad.ClientID, loc)
+	if err != nil {
+		return 0, 0, err
+	}
+	surge = 1
+	for _, p := range prices {
+		if p.TypeName == core.UberX.String() {
+			surge = p.Surge
+			break
+		}
+	}
+	times, err := ad.Svc.EstimateTime(ad.ClientID, loc)
+	if err != nil {
+		return 0, 0, err
+	}
+	ewt = math.MaxFloat64
+	for _, t := range times {
+		if t.TypeName == core.UberX.String() {
+			ewt = t.EWTSeconds
+			break
+		}
+	}
+	return surge, ewt, nil
+}
+
+// entryPoint returns the nearest point to pos that lies inside area,
+// nudged EntryMargin meters toward the area centroid.
+func (ad *Advisor) entryPoint(pos geo.Point, area int) geo.Point {
+	pg := ad.Areas[area]
+	if pg.Contains(pos) {
+		return pos
+	}
+	nearest := nearestOnPolygon(pg, pos)
+	c := pg.Centroid()
+	v := c.Sub(nearest)
+	n := v.Norm()
+	if n > 0 {
+		nearest = nearest.Add(v.Scale(math.Min(ad.EntryMargin, n) / n))
+	}
+	return nearest
+}
+
+// nearestOnPolygon projects pos onto the polygon boundary.
+func nearestOnPolygon(pg geo.Polygon, pos geo.Point) geo.Point {
+	best := pg.Vertices[0]
+	bestD := math.MaxFloat64
+	n := len(pg.Vertices)
+	for i := 0; i < n; i++ {
+		a := pg.Vertices[i]
+		b := pg.Vertices[(i+1)%n]
+		p := nearestOnSegment(a, b, pos)
+		if d := geo.Dist(p, pos); d < bestD {
+			bestD = d
+			best = p
+		}
+	}
+	return best
+}
+
+// nearestOnSegment projects pos onto segment ab.
+func nearestOnSegment(a, b, pos geo.Point) geo.Point {
+	ab := b.Sub(a)
+	l2 := ab.X*ab.X + ab.Y*ab.Y
+	if l2 == 0 {
+		return a
+	}
+	t := ((pos.X-a.X)*ab.X + (pos.Y-a.Y)*ab.Y) / l2
+	t = math.Max(0, math.Min(1, t))
+	return a.Add(ab.Scale(t))
+}

@@ -1,0 +1,348 @@
+// Package surge implements the surge pricing engine whose externally
+// visible behaviour the paper reverse-engineers in §5:
+//
+//   - the city is hand-partitioned into surge areas with independent
+//     multipliers (Figs 18, 19);
+//   - multipliers update on a 5-minute clock, with the API observing the
+//     change inside a ~35-second band of each interval and the Client app
+//     inside a wider ~2-minute band (Fig 15);
+//   - each area's multiplier is computed from the trailing window's
+//     supply/demand slack and EWT, which is why the paper finds the
+//     strongest cross-correlations at Δt = 0 (Figs 20, 21);
+//   - the April 2015 datastream additionally contains "jitter": individual
+//     clients receive the previous interval's multiplier for 20-30 seconds
+//     at random moments — later confirmed by Uber to be a consistency bug
+//     serving stale multipliers to random customers (Figs 14, 16, 17).
+//
+// The engine's inputs deliberately include latent demand (quantity
+// demanded), which outside measurement cannot see; that is what makes the
+// paper's forecasting models top out around R² ≈ 0.4 (Table 1).
+package surge
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// UpdatePeriod is the surge clock period in seconds.
+const UpdatePeriod = 300
+
+// OccupancySeconds is the car-time one fulfilled request consumes
+// (dispatch approach plus trip); used to convert latent demand counts into
+// capacity utilization.
+const OccupancySeconds = 600
+
+// Config configures an Engine.
+type Config struct {
+	Params sim.SurgeParams
+	Seed   int64
+	// Jitter enables the April 2015 consistency bug in the client
+	// datastream. The API stream is never jittered.
+	Jitter bool
+	// JitterProb is the per-client, per-interval probability of one
+	// jitter event. The default 0.25 is high enough that jitter
+	// fragments a large share of client-stream surges (Fig 13's 40%
+	// under a minute) while onsets rarely coincide across the 43 clients
+	// (Fig 17's ~90% single-client events).
+	JitterProb float64
+	// Smoothing implements the paper's §8 proposal: update surge as an
+	// exponentially weighted moving average instead of jumping to each
+	// interval's raw value, making prices "more predictable and less
+	// dramatic". 0 disables smoothing; otherwise it is the weight of the
+	// previous multiplier (e.g. 0.6 keeps 60% of the old value).
+	Smoothing float64
+	// QuantStep overrides the multiplier grid. Uber's is 0.1 (the
+	// default); Lyft's contemporaneous "Prime Time" used 25% increments
+	// (0.25), which §3.3 mentions as the pricing the authors could not
+	// ethically measure.
+	QuantStep float64
+}
+
+// Engine computes and serves surge multipliers for one world.
+type Engine struct {
+	world *sim.World
+	cfg   Config
+	rng   *rand.Rand
+
+	cur  []float64 // multiplier computed for the current interval
+	prev []float64 // previous interval's multiplier
+
+	intervalStart int64
+	apiSwitchAt   int64 // when the API stream starts serving cur
+
+	// History records the ground-truth multiplier series per area, one
+	// entry per completed update, for tests and ablations.
+	History [][]float64
+}
+
+// New builds an engine over the world and installs it as the world's surge
+// provider (the feedback loop through which surge influences driver
+// arrivals and passenger elasticity).
+func New(w *sim.World, cfg Config) *Engine {
+	if cfg.JitterProb == 0 {
+		cfg.JitterProb = 0.25
+	}
+	if cfg.QuantStep == 0 {
+		cfg.QuantStep = 0.1
+	}
+	n := len(w.Areas())
+	e := &Engine{
+		world: w,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5e1fca5e)),
+		cur:   ones(n),
+		prev:  ones(n),
+	}
+	e.scheduleSwitches(w.Now() - w.Now()%UpdatePeriod)
+	w.SetSurgeProvider(func(area int) float64 {
+		return e.APIMultiplier(area, w.Now())
+	})
+	return e
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Step advances the engine to time now, recomputing multipliers at each
+// 5-minute boundary. Call once per world tick, after world.Step.
+func (e *Engine) Step(now int64) {
+	boundary := now - now%UpdatePeriod
+	if boundary > e.intervalStart {
+		e.update(boundary)
+	}
+}
+
+// update recomputes every area's multiplier for the interval starting at
+// boundary.
+func (e *Engine) update(boundary int64) {
+	p := e.cfg.Params
+	copy(e.prev, e.cur)
+	snapshot := make([]float64, len(e.cur))
+	// Demand fluctuations have a city-wide component (weather, events,
+	// transit failures) and an area-local one; NoiseCorr sets the mix.
+	cityShock := e.rng.NormFloat64()
+	corr := p.NoiseCorr
+	local := math.Sqrt(math.Max(0, 1-corr*corr))
+
+	// First pass: each area's raw utilization and EWT feature. The city
+	// pressure is capacity-weighted (total demand over total capacity) so
+	// small areas' noisy ratios don't distort it.
+	utils := make([]float64, len(e.cur))
+	ewts := make([]float64, len(e.cur))
+	var cityLoad, cityCap float64
+	for a := range e.cur {
+		st := e.world.ConsumeWindow(a)
+		window := float64(st.Ticks) * float64(e.world.TickSeconds())
+		if window <= 0 {
+			window = UpdatePeriod
+		}
+		capacity := st.AvgIdle() + st.AvgBusy()
+		load := float64(st.LatentDemand) * OccupancySeconds / window
+		utils[a] = load / math.Max(capacity, 1)
+		ewts[a] = st.AvgEWT()
+		cityLoad += load
+		cityCap += capacity
+	}
+	cityUtil := cityLoad / math.Max(cityCap, 1)
+
+	for a := range e.cur {
+		// Area coupling pools each area's pressure with the city mean
+		// (§6: SF's areas move together far more than Manhattan's).
+		util := (1-p.AreaCoupling)*utils[a] + p.AreaCoupling*cityUtil
+		// Stochastic demand fluctuation: the short window sees a noisy
+		// sample of the true intensity. This is what makes most surges
+		// last a single interval (Fig 13).
+		shock := corr*cityShock + local*e.rng.NormFloat64()
+		util *= 1 + p.Noise*shock
+
+		raw := 1.0
+		if denom := math.Max(1-p.UtilThreshold, 0.05); util > p.UtilThreshold {
+			raw += p.Gain * (util - p.UtilThreshold) / denom
+		}
+		if ewt := ewts[a]; ewt > p.EWTRef {
+			raw += p.EWTGain * (ewt - p.EWTRef)
+		}
+		if raw > p.MaxMultiplier {
+			raw = p.MaxMultiplier
+		}
+		if s := e.cfg.Smoothing; s > 0 {
+			raw = s*e.prev[a] + (1-s)*raw
+		}
+		e.cur[a] = QuantizeStep(raw, e.cfg.QuantStep)
+		snapshot[a] = e.cur[a]
+	}
+	e.History = append(e.History, snapshot)
+	e.scheduleSwitches(boundary)
+}
+
+// scheduleSwitches draws this interval's API propagation delay: updates
+// land within a ~35 s band of each interval (Fig 15). Client-stream
+// delays are per-client; see clientSwitchFor.
+func (e *Engine) scheduleSwitches(boundary int64) {
+	e.intervalStart = boundary
+	e.apiSwitchAt = boundary + 5 + int64(e.rng.Float64()*35)
+}
+
+// Quantize snaps a raw multiplier to Uber's 0.1 steps with a floor of 1.
+func Quantize(m float64) float64 { return QuantizeStep(m, 0.1) }
+
+// QuantizeStep snaps a raw multiplier to the given grid with a floor of 1
+// (0.1 for Uber, 0.25 for Lyft-style Prime Time).
+func QuantizeStep(m, step float64) float64 {
+	if step <= 0 {
+		step = 0.1
+	}
+	q := math.Round(m/step) * step
+	// Normalize binary noise (0.30000000000000004 -> 0.3).
+	q = math.Round(q*1e9) / 1e9
+	if q < 1 {
+		return 1
+	}
+	return q
+}
+
+// APIMultiplier returns the multiplier the estimates/price API serves for
+// an area at time now. The API stream has no jitter.
+func (e *Engine) APIMultiplier(area int, now int64) float64 {
+	if area < 0 || area >= len(e.cur) {
+		return 1
+	}
+	if now < e.apiSwitchAt {
+		return e.prev[area]
+	}
+	return e.cur[area]
+}
+
+// ClientMultiplier returns the multiplier the pingClient stream serves to
+// a specific client at time now.
+//
+// In February mode (Jitter off) the client stream behaves exactly like
+// the API: one shared switch moment inside a ~35-second band, so
+// co-located clients always agree — the paper's calibration finding.
+//
+// In April mode (Jitter on) each client switches to the new multiplier at
+// its own moment inside a ~2-minute band (Fig 15's wider spread), and
+// per-client jitter windows leak the previous interval's multiplier for
+// 20-30 s (Figs 14, 16, 17).
+func (e *Engine) ClientMultiplier(clientID string, area int, now int64) float64 {
+	if area < 0 || area >= len(e.cur) {
+		return 1
+	}
+	if !e.cfg.Jitter {
+		return e.APIMultiplier(area, now)
+	}
+	if start, dur := e.jitterWindow(clientID, e.intervalStart); start >= 0 {
+		t := now - e.intervalStart
+		if t >= start && t < start+dur {
+			return e.prev[area]
+		}
+	}
+	if now < e.clientSwitchFor(clientID, e.intervalStart) {
+		return e.prev[area]
+	}
+	return e.cur[area]
+}
+
+// clientSwitchFor derives the client's personal switch moment for the
+// interval: 10-130 seconds in, deterministically from (client, interval,
+// seed).
+func (e *Engine) clientSwitchFor(clientID string, boundary int64) int64 {
+	u := e.hash01(clientID, boundary, 0xc11e)
+	return boundary + 10 + int64(u*120)
+}
+
+// CurrentMultiplier returns the ground-truth multiplier computed for the
+// current interval (what the whole area converges to once both streams
+// switch).
+func (e *Engine) CurrentMultiplier(area int) float64 {
+	if area < 0 || area >= len(e.cur) {
+		return 1
+	}
+	return e.cur[area]
+}
+
+// PrevMultiplier returns the previous interval's ground-truth multiplier.
+func (e *Engine) PrevMultiplier(area int) float64 {
+	if area < 0 || area >= len(e.prev) {
+		return 1
+	}
+	return e.prev[area]
+}
+
+// jitterWindow deterministically derives the jitter schedule for a client
+// in the interval starting at boundary: a hash of (seed, client, interval)
+// decides whether a jitter event occurs, when it starts (uniform in the
+// interval) and how long it lasts (20-30 s for 90% of events, 30-60 s for
+// the rest — matching the paper's measured durations). It returns
+// (-1, 0) when the client has no jitter event this interval.
+func (e *Engine) jitterWindow(clientID string, boundary int64) (start, dur int64) {
+	v := e.hashBits(clientID, boundary, 0x71772)
+	u1 := float64(v&0xFFFF) / 65536     // occurrence
+	u2 := float64(v>>16&0xFFFF) / 65536 // start offset
+	u3 := float64(v>>32&0xFFFF) / 65536 // duration
+	if u1 >= e.cfg.JitterProb {
+		return -1, 0
+	}
+	if u3 < 0.9 {
+		dur = 20 + int64(u3/0.9*10) // 20-30 s
+	} else {
+		dur = 30 + int64((u3-0.9)/0.1*30) // 30-60 s
+	}
+	maxStart := int64(UpdatePeriod) - dur
+	start = int64(u2 * float64(maxStart))
+	return start, dur
+}
+
+// hashBits mixes (client, interval, seed, salt) into 64 deterministic
+// pseudo-random bits.
+func (e *Engine) hashBits(clientID string, boundary, salt int64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(clientID))
+	var buf [24]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(boundary >> (8 * i))
+		buf[8+i] = byte(e.cfg.Seed >> (8 * i))
+		buf[16+i] = byte(salt >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// hash01 returns a deterministic uniform value in [0, 1).
+func (e *Engine) hash01(clientID string, boundary, salt int64) float64 {
+	return float64(e.hashBits(clientID, boundary, salt)&0xFFFFFF) / float64(1<<24)
+}
+
+// Runner couples a world and its engine and advances them together; it is
+// the minimal "backend main loop" that cmd/uberd and the experiment
+// harness drive.
+type Runner struct {
+	World  *sim.World
+	Engine *Engine
+}
+
+// NewRunner builds a world plus engine pair.
+func NewRunner(w *sim.World, cfg Config) *Runner {
+	return &Runner{World: w, Engine: New(w, cfg)}
+}
+
+// Step advances the backend by one tick.
+func (r *Runner) Step() {
+	r.World.Step()
+	r.Engine.Step(r.World.Now())
+}
+
+// RunUntil advances the backend to time end.
+func (r *Runner) RunUntil(end int64) {
+	for r.World.Now() < end {
+		r.Step()
+	}
+}

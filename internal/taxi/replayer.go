@@ -1,0 +1,229 @@
+package taxi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// TickSeconds is the replay step, matching the ping cadence.
+const TickSeconds = 5
+
+// Replayer plays a Trace back in simulation time and serves the same
+// eight-nearest query surface as the Uber backend, so the identical
+// measurement code can be validated against known ground truth (§3.5).
+// Taxis appear as the UberT product with no surge.
+type Replayer struct {
+	trace *Trace
+	proj  *geo.Projection
+	rng   *rand.Rand
+	now   int64
+
+	grid   *geo.Grid
+	segIdx []int    // per session: current segment cursor
+	pubID  []string // per session: public ID of the current idle period
+	inGrid []bool
+}
+
+var _ core.Service = (*Replayer)(nil)
+
+// NewReplayer builds a replayer positioned at the trace start.
+func NewReplayer(trace *Trace, seed int64) *Replayer {
+	r := &Replayer{
+		trace:  trace,
+		proj:   geo.NewProjection(trace.Origin),
+		rng:    rand.New(rand.NewSource(seed ^ 0x7471)),
+		now:    trace.Start,
+		grid:   geo.NewGrid(trace.Region, 150),
+		segIdx: make([]int, len(trace.Sessions)),
+		pubID:  make([]string, len(trace.Sessions)),
+		inGrid: make([]bool, len(trace.Sessions)),
+	}
+	r.sync()
+	return r
+}
+
+// Now returns the replay clock.
+func (r *Replayer) Now() int64 { return r.now }
+
+// Projection returns the trace's plane projection.
+func (r *Replayer) Projection() *geo.Projection { return r.proj }
+
+// Step advances the replay by one tick.
+func (r *Replayer) Step() {
+	r.now += TickSeconds
+	r.sync()
+}
+
+// RunUntil advances the replay clock to end.
+func (r *Replayer) RunUntil(end int64) {
+	for r.now < end {
+		r.Step()
+	}
+}
+
+// sync brings every session's visibility and position up to r.now.
+func (r *Replayer) sync() {
+	for s := range r.trace.Sessions {
+		segs := r.trace.Sessions[s].Segments
+		i := r.segIdx[s]
+		for i < len(segs) && segs[i].End <= r.now {
+			// Leaving a segment; a new idle period will need a fresh ID.
+			if segs[i].Visible {
+				r.pubID[s] = ""
+			}
+			i++
+		}
+		r.segIdx[s] = i
+		id := int64(s)
+		if i >= len(segs) || segs[i].Start > r.now || !segs[i].Visible {
+			if r.inGrid[s] {
+				r.grid.Remove(id)
+				r.inGrid[s] = false
+				r.pubID[s] = ""
+			}
+			continue
+		}
+		// Visible now.
+		if r.pubID[s] == "" {
+			r.pubID[s] = fmt.Sprintf("t%08x%08x", r.rng.Uint32(), r.rng.Uint32())
+		}
+		pos := segs[i].Pos(r.now)
+		if r.inGrid[s] {
+			r.grid.Move(id, pos)
+		} else {
+			r.grid.Insert(id, pos)
+			r.inGrid[s] = true
+		}
+	}
+}
+
+// Register implements the campaign's Registrar; the taxi simulator has no
+// accounts.
+func (r *Replayer) Register(clientID string) {}
+
+// PingClient returns the eight nearest available taxis as UberT.
+func (r *Replayer) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
+	p := r.proj.ToPlane(loc)
+	near := r.grid.KNearest(p, core.MaxVisibleCars)
+	st := core.TypeStatus{
+		Type:     core.UberT,
+		TypeName: core.UberT.String(),
+		Surge:    1,
+	}
+	for _, n := range near {
+		st.Cars = append(st.Cars, core.CarView{
+			ID:  r.pubID[n.ID],
+			Pos: r.proj.ToLatLng(n.Pos),
+		})
+	}
+	st.EWTSeconds = r.ewt(p)
+	return &core.PingResponse{Time: r.now, Types: []core.TypeStatus{st}}, nil
+}
+
+func (r *Replayer) ewt(p geo.Point) float64 {
+	near := r.grid.KNearest(p, 1)
+	if len(near) == 0 {
+		return 2580
+	}
+	return 30 + near[0].Dist/taxiSpeed
+}
+
+// EstimatePrice serves flat taxi fares (no surge), mirroring UberT.
+func (r *Replayer) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEstimate, error) {
+	f := core.DefaultFares()[core.UberT]
+	mid := f.Fare(5000, 900, 1)
+	return []core.PriceEstimate{{
+		TypeName: core.UberT.String(), Surge: 1,
+		LowUSD: mid * 0.8, HighUSD: mid * 1.2, Currency: "USD",
+	}}, nil
+}
+
+// EstimateTime serves the nearest-taxi EWT.
+func (r *Replayer) EstimateTime(clientID string, loc geo.LatLng) ([]core.TimeEstimate, error) {
+	p := r.proj.ToPlane(loc)
+	return []core.TimeEstimate{{TypeName: core.UberT.String(), EWTSeconds: r.ewt(p)}}, nil
+}
+
+// VisibleTaxis returns the instantaneous number of taxis on the map.
+func (r *Replayer) VisibleTaxis() int { return r.grid.Len() }
+
+// GroundTruth computes the true supply (unique available taxis inside the
+// measurement rect per interval) and demand (pickups per interval) series
+// from the trace itself — the quantities Fig 4 compares the measured
+// series against.
+func (t *Trace) GroundTruth(start, end, interval int64) (supply, deaths *stats.Series) {
+	n := int((end - start) / interval)
+	if n < 1 {
+		n = 1
+	}
+	supply = stats.NewSeries(start, interval, n)
+	deaths = stats.NewSeries(start, interval, n)
+	for i := 0; i < n; i++ {
+		supply.Values[i] = 0
+		deaths.Values[i] = 0
+	}
+	for s := range t.Sessions {
+		segs := t.Sessions[s].Segments
+		for gi, seg := range segs {
+			if !seg.Visible {
+				continue
+			}
+			// Supply: each idle period contributes one "car" to every
+			// interval during which it sits visibly inside the rect. The
+			// unit is idle periods, not taxis, because public IDs are
+			// randomized per idle period — the same unit the measured
+			// unique-ID counts use.
+			lo, hi := seg.Start, seg.End
+			if lo < start {
+				lo = start
+			}
+			if hi > end {
+				hi = end
+			}
+			for iv := (lo - start) / interval; iv*interval+start < hi; iv++ {
+				if iv < 0 || int(iv) >= n {
+					continue
+				}
+				// Count the taxi if it sits inside the rect at any point
+				// of the interval (sampled every 30 s), so ground truth
+				// is a superset of what any probe could observe.
+				wLo := max64(seg.Start, start+iv*interval)
+				wHi := min64(seg.End, start+(iv+1)*interval)
+				for ts := wLo; ts <= wHi; ts += 30 {
+					if t.MeasureRect.Contains(seg.Pos(ts)) {
+						supply.Values[iv]++
+						break
+					}
+				}
+			}
+			// Demand: a visible segment followed by a trip is a pickup.
+			if gi+1 < len(segs) && !segs[gi+1].Visible &&
+				seg.End >= start && seg.End < end &&
+				t.MeasureRect.Contains(seg.To) {
+				iv := (seg.End - start) / interval
+				if iv >= 0 && int(iv) < n {
+					deaths.Values[iv]++
+				}
+			}
+		}
+	}
+	return supply, deaths
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
