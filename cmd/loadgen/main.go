@@ -1,0 +1,75 @@
+// Command loadgen drives a running uberd with N concurrent synthetic
+// clients in a closed loop and reports throughput plus latency
+// percentiles from the obs histograms it records into.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -clients 16 -duration 30s
+//	loadgen -addr http://localhost:8080 -clients 8 -rate 2 -city sf
+//
+// With -rate 0 (the default) each client issues its next request as soon
+// as the previous response lands — the classic closed-loop saturation
+// probe. A positive -rate paces each client at that many requests per
+// second, emulating the paper's measurement fleet (43 clients, one ping
+// per 5 s ≈ -rate 0.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/loadgen"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the uberd backend")
+		clients  = flag.Int("clients", 8, "concurrent synthetic clients")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		rate     = flag.Float64("rate", 0, "per-client request rate in req/s (0 = closed-loop max)")
+		city     = flag.String("city", "manhattan", "city profile whose center to query: manhattan or sf")
+		lat      = flag.Float64("lat", 0, "override query latitude")
+		lng      = flag.Float64("lng", 0, "override query longitude")
+		pingW    = flag.Int("ping-weight", 8, "pingClient share of the request mix")
+		priceW   = flag.Int("price-weight", 1, "estimates/price share of the request mix")
+		timeW    = flag.Int("time-weight", 1, "estimates/time share of the request mix")
+	)
+	flag.Parse()
+
+	loc := geo.LatLng{Lat: *lat, Lng: *lng}
+	if *lat == 0 && *lng == 0 {
+		var profile *sim.CityProfile
+		switch *city {
+		case "manhattan", "mhtn", "nyc":
+			profile = sim.Manhattan()
+		case "sf", "sanfrancisco":
+			profile = sim.SanFrancisco()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown city %q (want manhattan or sf)\n", *city)
+			os.Exit(2)
+		}
+		loc = profile.Origin
+	}
+
+	fmt.Printf("loadgen: %d clients -> %s for %s (rate %g req/s/client, mix %d:%d:%d, loc %.4f,%.4f)\n",
+		*clients, *addr, *duration, *rate, *pingW, *priceW, *timeW, loc.Lat, loc.Lng)
+	report, err := loadgen.Run(loadgen.Config{
+		BaseURL:     *addr,
+		Clients:     *clients,
+		Duration:    *duration,
+		Rate:        *rate,
+		PingWeight:  *pingW,
+		PriceWeight: *priceW,
+		TimeWeight:  *timeW,
+		Loc:         loc,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(report.String())
+}

@@ -7,6 +7,12 @@
 // so a measurement campaign (cmd/measure) can be pointed at it like the
 // paper's scripts were pointed at Uber.
 //
+// Observability: GET /metrics serves the obs registry in Prometheus text
+// format (per-endpoint request counters and latency histograms, surge and
+// sim internals), and /debug/pprof/* the Go runtime profiles. Point
+// cmd/loadgen at the same address to generate traffic and read back
+// percentiles.
+//
 // Usage:
 //
 //	uberd -city sf -addr :8080 -speedup 60 -jitter
@@ -19,12 +25,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -55,6 +63,9 @@ func main() {
 	}
 
 	svc := api.NewBackend(profile, *seed, *jitter)
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
+	tracer := obs.NewTracer(4096)
 	svc.RunUntil(*warmup)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,7 +87,18 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: api.NewServer(svc)}
+	// The API mounts at / with per-endpoint metrics; /metrics serves the
+	// Prometheus exposition and /debug/pprof/* the runtime profiles.
+	mux := http.NewServeMux()
+	mux.Handle("/", api.NewServer(svc, api.WithMetrics(reg), api.WithTracer(tracer)))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 

@@ -3,11 +3,18 @@ package api
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
+
+// maxLoginBody caps the JSON body accepted by the login endpoints so a
+// hostile client cannot stream an unbounded request.
+const maxLoginBody = 4 << 10 // 4 KiB
 
 // Server exposes a Service over HTTP with the endpoint shapes the paper
 // scripts against:
@@ -21,26 +28,99 @@ import (
 // The HTTP layer is a thin shell: all behaviour (jitter, rate limits,
 // visibility) lives in Service so the in-process and HTTP paths cannot
 // diverge.
+//
+// When built with WithMetrics, every endpoint records request counts by
+// status class and a latency histogram under the "endpoint" label; with
+// WithTracer, each request leaves a span named "http" carrying endpoint
+// and status attributes.
 type Server struct {
-	svc *Service
-	mux *http.ServeMux
+	svc    *Service
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	tracer *obs.Tracer
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMetrics wires per-endpoint request/latency metrics into reg.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithTracer records one span per request into t.
+func WithTracer(t *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
 }
 
 // NewServer wraps svc in an HTTP handler.
-func NewServer(svc *Service) *Server {
+func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /login", s.handleLogin)
-	s.mux.HandleFunc("GET /pingClient", s.handlePing)
-	s.mux.HandleFunc("GET /estimates/price", s.handlePrice)
-	s.mux.HandleFunc("GET /estimates/time", s.handleTime)
-	s.mux.HandleFunc("GET /health", s.handleHealth)
-	s.mux.HandleFunc("POST /partner/login", s.handlePartnerLogin)
-	s.mux.HandleFunc("GET /partner/surgeMap", s.handlePartnerMap)
+	for _, o := range opts {
+		o(s)
+	}
+	s.route("POST /login", "/login", s.handleLogin)
+	s.route("GET /pingClient", "/pingClient", s.handlePing)
+	s.route("GET /estimates/price", "/estimates/price", s.handlePrice)
+	s.route("GET /estimates/time", "/estimates/time", s.handleTime)
+	s.route("GET /health", "/health", s.handleHealth)
+	s.route("POST /partner/login", "/partner/login", s.handlePartnerLogin)
+	s.route("GET /partner/surgeMap", "/partner/surgeMap", s.handlePartnerMap)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// route registers pattern on the mux with metrics/tracing instrumentation
+// keyed by the stable endpoint name.
+func (s *Server) route(pattern, endpoint string, h http.HandlerFunc) {
+	if s.reg == nil && s.tracer == nil {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	// Resolve metric handles once per endpoint, not per request: the
+	// status-class counters and the latency histogram are the hot path.
+	lbl := obs.L("endpoint", endpoint)
+	classes := [4]*obs.Counter{
+		s.reg.Counter("http_requests_total", lbl, obs.L("class", "2xx")),
+		s.reg.Counter("http_requests_total", lbl, obs.L("class", "3xx")),
+		s.reg.Counter("http_requests_total", lbl, obs.L("class", "4xx")),
+		s.reg.Counter("http_requests_total", lbl, obs.L("class", "5xx")),
+	}
+	hist := s.reg.Histogram("http_request_duration_seconds", obs.DefLatencyBuckets, lbl)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		dur := time.Since(start)
+		hist.ObserveDuration(dur)
+		if i := rec.status/100 - 2; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
+		// Specific counters for the statuses the paper's measurement
+		// campaign cares about (rate limiting and bad probes).
+		switch rec.status {
+		case http.StatusTooManyRequests:
+			s.reg.Counter("http_requests_total", lbl, obs.L("class", "429")).Inc()
+		case http.StatusBadRequest:
+			s.reg.Counter("http_requests_total", lbl, obs.L("class", "400")).Inc()
+		}
+		s.tracer.Record("http", start, dur, lbl,
+			obs.L("status", strconv.Itoa(rec.status)))
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -65,6 +145,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		ClientID string `json:"client_id"`
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxLoginBody)
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.ClientID == "" {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "client_id required"})
 		return
@@ -74,7 +155,8 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryArgs extracts the client id and location common to all GET
-// endpoints.
+// endpoints. Coordinates must be finite: strconv.ParseFloat accepts
+// "NaN" and "Inf", which would otherwise flow into the geo math.
 func queryArgs(r *http.Request) (string, geo.LatLng, error) {
 	q := r.URL.Query()
 	client := q.Get("client")
@@ -82,11 +164,11 @@ func queryArgs(r *http.Request) (string, geo.LatLng, error) {
 		return "", geo.LatLng{}, errors.New("client parameter required")
 	}
 	lat, err := strconv.ParseFloat(q.Get("lat"), 64)
-	if err != nil {
+	if err != nil || math.IsNaN(lat) || math.IsInf(lat, 0) {
 		return "", geo.LatLng{}, errors.New("lat parameter invalid")
 	}
 	lng, err := strconv.ParseFloat(q.Get("lng"), 64)
-	if err != nil {
+	if err != nil || math.IsNaN(lng) || math.IsInf(lng, 0) {
 		return "", geo.LatLng{}, errors.New("lng parameter invalid")
 	}
 	return client, geo.LatLng{Lat: lat, Lng: lng}, nil

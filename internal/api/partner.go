@@ -31,10 +31,11 @@ func (s *Service) RegisterPartner(driverID string, agreeNoScraping bool) error {
 	if !agreeNoScraping {
 		return errors.New("api: partners must accept the data-collection agreement")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.amu.Lock()
+	defer s.amu.Unlock()
 	if _, ok := s.accounts[driverID]; !ok {
 		s.accounts[driverID] = &account{}
+		s.mRegistrations.Inc()
 	}
 	s.partners[driverID] = true
 	return nil
@@ -44,9 +45,12 @@ func (s *Service) RegisterPartner(driverID string, agreeNoScraping bool) error {
 // area polygon with its current multiplier (API stream semantics — the
 // driver map has no jitter).
 func (s *Service) PartnerMap(driverID string) ([]PartnerArea, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.partners[driverID] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.amu.Lock()
+	isPartner := s.partners[driverID]
+	s.amu.Unlock()
+	if !isPartner {
 		return nil, ErrNotPartner
 	}
 	proj := s.world.Projection()

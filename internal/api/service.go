@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/surge"
 )
@@ -39,12 +40,20 @@ type account struct {
 
 // Service answers client and API queries against a running backend.
 // All methods are safe for concurrent use.
+//
+// Locking: mu guards the world/engine pair — queries take it shared, so
+// the read-dominant pingClient/estimates endpoints run concurrently and
+// only Step (and the rare setters) exclude them. Account bookkeeping
+// lives under its own amu so the per-request auth write (rate-limit
+// charge) never serializes the world readers behind it. Lock order is
+// always mu before amu; no path holds amu while acquiring mu.
 type Service struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	world  *sim.World
 	engine *surge.Engine
 	fares  map[core.VehicleType]core.FareSchedule
 
+	amu      sync.Mutex
 	accounts map[string]*account
 	partners map[string]bool
 
@@ -54,8 +63,13 @@ type Service struct {
 	// (car, 30-second window) so co-located clients still agree.
 	locationFuzz float64
 
-	// offered products (fleet share > 0), precomputed.
+	// offered products (fleet share > 0), precomputed and immutable.
 	offered []core.VehicleType
+
+	// nil-safe metric handles; zero until Instrument is called.
+	mRegistrations *obs.Counter
+	mRateLimited   *obs.Counter
+	mJitterServed  *obs.Counter
 }
 
 var _ core.Service = (*Service)(nil)
@@ -79,19 +93,34 @@ func NewService(w *sim.World, e *surge.Engine) *Service {
 	return s
 }
 
+// Instrument wires the service's counters into reg and cascades to the
+// world and engine, so one call instruments the whole backend:
+//
+//	api_registrations_total    accounts created
+//	api_rate_limited_total     estimates requests rejected with 429
+//	api_jitter_served_total    pings answered inside a jitter window
+func (s *Service) Instrument(reg *obs.Registry) {
+	s.mRegistrations = reg.Counter("api_registrations_total")
+	s.mRateLimited = reg.Counter("api_rate_limited_total")
+	s.mJitterServed = reg.Counter("api_jitter_served_total")
+	s.world.Instrument(reg)
+	s.engine.Instrument(reg)
+}
+
 // Register creates an account for clientID; registering twice is a no-op.
 func (s *Service) Register(clientID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.amu.Lock()
+	defer s.amu.Unlock()
 	if _, ok := s.accounts[clientID]; !ok {
 		s.accounts[clientID] = &account{}
+		s.mRegistrations.Inc()
 	}
 }
 
 // Accounts returns the number of registered accounts.
 func (s *Service) Accounts() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.amu.Lock()
+	defer s.amu.Unlock()
 	return len(s.accounts)
 }
 
@@ -113,8 +142,8 @@ func (s *Service) RunUntil(end int64) {
 
 // Now returns the backend's simulation time.
 func (s *Service) Now() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.world.Now()
 }
 
@@ -127,27 +156,32 @@ func (s *Service) Engine() *surge.Engine { return s.engine }
 
 // auth validates the account without rate limiting (pingClient is not
 // rate limited: the app itself pings every 5 seconds, §3.3).
-func (s *Service) auth(clientID string) (*account, error) {
-	a, ok := s.accounts[clientID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownAccount, clientID)
+func (s *Service) auth(clientID string) error {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	if _, ok := s.accounts[clientID]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAccount, clientID)
 	}
-	return a, nil
+	return nil
 }
 
 // authLimited validates the account and charges one API call against the
-// hourly rate limit.
-func (s *Service) authLimited(clientID string) error {
-	a, err := s.auth(clientID)
-	if err != nil {
-		return err
+// hourly rate limit. now is the simulation time (read under mu by the
+// caller; amu alone guards the account state).
+func (s *Service) authLimited(clientID string, now int64) error {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	a, ok := s.accounts[clientID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAccount, clientID)
 	}
-	bucket := s.world.Now() / 3600
+	bucket := now / 3600
 	if a.hourBucket != bucket {
 		a.hourBucket = bucket
 		a.calls = 0
 	}
 	if a.calls >= RateLimitPerHour {
+		s.mRateLimited.Inc()
 		return ErrRateLimited
 	}
 	a.calls++
@@ -159,9 +193,9 @@ func (s *Service) authLimited(clientID string) error {
 // IDs and path vectors), the EWT, and the surge multiplier — including,
 // when the April bug is active, per-client jitter.
 func (s *Service) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.auth(clientID); err != nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.auth(clientID); err != nil {
 		return nil, err
 	}
 	p := s.world.Projection().ToPlane(loc)
@@ -188,6 +222,9 @@ func (s *Service) PingClient(clientID string, loc geo.LatLng) (*core.PingRespons
 			}
 		}
 		resp.Types = append(resp.Types, st)
+	}
+	if s.engine.InJitter(clientID, now) {
+		s.mJitterServed.Inc()
 	}
 	return resp, nil
 }
@@ -223,9 +260,9 @@ func (s *Service) fuzzPos(carID string, now int64, ll geo.LatLng) geo.LatLng {
 // nominal 5 km / 15 minute trip under the current API-stream surge
 // multiplier (no jitter), rate limited per account.
 func (s *Service) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEstimate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.authLimited(clientID); err != nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.authLimited(clientID, s.world.Now()); err != nil {
 		return nil, err
 	}
 	p := s.world.Projection().ToPlane(loc)
@@ -256,9 +293,9 @@ func (s *Service) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEs
 // EstimateTime emulates the estimates/time endpoint: EWT per product,
 // rate limited per account.
 func (s *Service) EstimateTime(clientID string, loc geo.LatLng) ([]core.TimeEstimate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.authLimited(clientID); err != nil {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.authLimited(clientID, s.world.Now()); err != nil {
 		return nil, err
 	}
 	p := s.world.Projection().ToPlane(loc)

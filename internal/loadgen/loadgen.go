@@ -1,0 +1,227 @@
+// Package loadgen is a closed-loop load generator for the emulated Uber
+// backend: N concurrent synthetic clients register, then hammer
+// pingClient and the estimates endpoints, recording every request into
+// obs histograms. It is the measurement harness future performance PRs
+// use to justify themselves — cmd/loadgen is its CLI, and the smoke test
+// drives it against an httptest.Server.
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/geo"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// BaseURL is the backend to hit, e.g. "http://localhost:8080".
+	BaseURL string
+	// Clients is the number of concurrent synthetic clients (default 4).
+	Clients int
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// Rate is the per-client target request rate in req/s. 0 means pure
+	// closed-loop: each client issues its next request as soon as the
+	// previous response lands.
+	Rate float64
+	// PingWeight/PriceWeight/TimeWeight set the request mix (default
+	// 8:1:1 — the app pings every 5 s, estimates are occasional).
+	PingWeight, PriceWeight, TimeWeight int
+	// Loc is the queried location; must be inside the service region.
+	Loc geo.LatLng
+	// Registry receives the run's metrics; a private one is created when
+	// nil. Passing a shared registry lets a caller merge loadgen series
+	// with its own /metrics exposition.
+	Registry *obs.Registry
+	// HTTPClient overrides the transport (httptest servers pass theirs).
+	HTTPClient *http.Client
+}
+
+func (c *Config) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.PingWeight <= 0 && c.PriceWeight <= 0 && c.TimeWeight <= 0 {
+		c.PingWeight, c.PriceWeight, c.TimeWeight = 8, 1, 1
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// EndpointStats summarizes one endpoint's results.
+type EndpointStats struct {
+	Requests    int64
+	Errors      int64 // transport failures and unexpected statuses
+	RateLimited int64 // 429s (expected once an account burns its budget)
+	Mean        float64
+	P50         float64
+	P95         float64
+	P99         float64
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Elapsed     time.Duration
+	Requests    int64
+	Errors      int64
+	RateLimited int64
+	RPS         float64
+	Endpoints   map[string]EndpointStats
+}
+
+// String renders the report as the table cmd/loadgen prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d requests in %.2fs (%.1f req/s), %d errors, %d rate-limited\n",
+		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors, r.RateLimited)
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-18s %10s %8s %8s %10s %10s %10s %10s\n",
+		"endpoint", "requests", "errors", "429s", "mean", "p50", "p95", "p99")
+	for _, name := range names {
+		e := r.Endpoints[name]
+		fmt.Fprintf(&b, "%-18s %10d %8d %8d %10s %10s %10s %10s\n",
+			name, e.Requests, e.Errors, e.RateLimited,
+			fmtLatency(e.Mean), fmtLatency(e.P50), fmtLatency(e.P95), fmtLatency(e.P99))
+	}
+	return b.String()
+}
+
+func fmtLatency(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "-"
+	case seconds < 0.001:
+		return fmt.Sprintf("%.0fµs", seconds*1e6)
+	case seconds < 1:
+		return fmt.Sprintf("%.2fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", seconds)
+	}
+}
+
+// endpoints in mix order; weights resolved per config.
+var endpointNames = [3]string{"/pingClient", "/estimates/price", "/estimates/time"}
+
+// Run registers cfg.Clients accounts and generates load until
+// cfg.Duration elapses, then reports throughput and per-endpoint latency
+// percentiles computed from the run's obs histograms.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+	remote := api.NewRemote(cfg.BaseURL, cfg.HTTPClient)
+	ids := make([]string, cfg.Clients)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("loadgen-%d", i)
+		if err := remote.Register(ids[i]); err != nil {
+			return nil, fmt.Errorf("loadgen: register %s: %w", ids[i], err)
+		}
+	}
+
+	weights := [3]int{cfg.PingWeight, cfg.PriceWeight, cfg.TimeWeight}
+	totalWeight := weights[0] + weights[1] + weights[2]
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+
+	type metricSet struct {
+		hist              *obs.Histogram
+		ok, errs, limited *obs.Counter
+	}
+	sets := make([]metricSet, len(endpointNames))
+	for i, name := range endpointNames {
+		lbl := obs.L("endpoint", name)
+		sets[i] = metricSet{
+			hist:    cfg.Registry.Histogram("loadgen_request_duration_seconds", obs.DefLatencyBuckets, lbl),
+			ok:      cfg.Registry.Counter("loadgen_requests_total", lbl, obs.L("result", "ok")),
+			errs:    cfg.Registry.Counter("loadgen_requests_total", lbl, obs.L("result", "error")),
+			limited: cfg.Registry.Counter("loadgen_requests_total", lbl, obs.L("result", "rate_limited")),
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	done := make(chan struct{}, cfg.Clients)
+	for w := 0; w < cfg.Clients; w++ {
+		go func(clientID string, seq int) {
+			defer func() { done <- struct{}{} }()
+			for i := seq; time.Now().Before(deadline); i++ {
+				// Weighted round-robin over the mix, offset per client so
+				// the fleet doesn't phase-lock on one endpoint.
+				slot := i % totalWeight
+				ep := 0
+				switch {
+				case slot < weights[0]:
+					ep = 0
+				case slot < weights[0]+weights[1]:
+					ep = 1
+				default:
+					ep = 2
+				}
+				reqStart := time.Now()
+				var err error
+				switch ep {
+				case 0:
+					_, err = remote.PingClient(clientID, cfg.Loc)
+				case 1:
+					_, err = remote.EstimatePrice(clientID, cfg.Loc)
+				case 2:
+					_, err = remote.EstimateTime(clientID, cfg.Loc)
+				}
+				sets[ep].hist.ObserveDuration(time.Since(reqStart))
+				switch err {
+				case nil:
+					sets[ep].ok.Inc()
+				case api.ErrRateLimited:
+					sets[ep].limited.Inc()
+				default:
+					sets[ep].errs.Inc()
+				}
+				if interval > 0 {
+					if next := reqStart.Add(interval); time.Now().Before(next) {
+						time.Sleep(time.Until(next))
+					}
+				}
+			}
+		}(ids[w], w)
+	}
+	for w := 0; w < cfg.Clients; w++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	rep := &Report{Elapsed: elapsed, Endpoints: make(map[string]EndpointStats)}
+	for i, name := range endpointNames {
+		s := sets[i].hist.Snapshot()
+		es := EndpointStats{
+			Requests:    s.Count,
+			Errors:      sets[i].errs.Value(),
+			RateLimited: sets[i].limited.Value(),
+			Mean:        s.Mean(),
+			P50:         s.Quantile(0.50),
+			P95:         s.Quantile(0.95),
+			P99:         s.Quantile(0.99),
+		}
+		rep.Endpoints[name] = es
+		rep.Requests += es.Requests
+		rep.Errors += es.Errors
+		rep.RateLimited += es.RateLimited
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.RPS = float64(rep.Requests) / secs
+	}
+	return rep, nil
+}

@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestRunSmoke drives the generator against an in-process backend and
+// checks the report is populated and consistent with the shared registry.
+func TestRunSmoke(t *testing.T) {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 11, false)
+	svc.RunUntil(600)
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
+	ts := httptest.NewServer(api.NewServer(svc, api.WithMetrics(reg)))
+	defer ts.Close()
+
+	report, err := Run(Config{
+		BaseURL:    ts.URL,
+		Clients:    4,
+		Duration:   300 * time.Millisecond,
+		Loc:        profile.Origin,
+		Registry:   reg,
+		HTTPClient: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("closed-loop run issued no requests")
+	}
+	if report.Errors != 0 {
+		t.Errorf("errors = %d, want 0", report.Errors)
+	}
+	if report.RPS <= 0 {
+		t.Errorf("RPS = %g", report.RPS)
+	}
+	ping := report.Endpoints["/pingClient"]
+	if ping.Requests == 0 {
+		t.Error("no pings recorded")
+	}
+	if ping.P50 <= 0 || ping.P99 < ping.P50 {
+		t.Errorf("implausible percentiles: p50=%g p99=%g", ping.P50, ping.P99)
+	}
+	// The same requests are visible server-side: loadgen traffic populated
+	// the middleware counters in the shared registry.
+	serverPings := reg.Counter("http_requests_total",
+		obs.L("endpoint", "/pingClient"), obs.L("class", "2xx")).Value()
+	if serverPings != ping.Requests {
+		t.Errorf("server saw %d pings, loadgen recorded %d", serverPings, ping.Requests)
+	}
+	// Report renders with all three endpoints.
+	out := report.String()
+	for _, want := range []string{"/pingClient", "/estimates/price", "/estimates/time", "req/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPaced checks rate limiting of the generator itself: a paced run
+// must not exceed its configured request budget.
+func TestRunPaced(t *testing.T) {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 12, false)
+	svc.RunUntil(600)
+	ts := httptest.NewServer(api.NewServer(svc))
+	defer ts.Close()
+
+	const clients, rate = 2, 20.0
+	dur := 500 * time.Millisecond
+	report, err := Run(Config{
+		BaseURL:    ts.URL,
+		Clients:    clients,
+		Duration:   dur,
+		Rate:       rate,
+		Loc:        profile.Origin,
+		HTTPClient: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: clients * rate * duration, +1 per client for boundary
+	// rounding; generous upper slack since CI clocks jitter.
+	maxReqs := int64(clients*(rate*dur.Seconds()+1)) * 2
+	if report.Requests == 0 || report.Requests > maxReqs {
+		t.Errorf("paced run issued %d requests, want 1..%d", report.Requests, maxReqs)
+	}
+}
+
+func TestRunBadBaseURL(t *testing.T) {
+	_, err := Run(Config{BaseURL: "http://127.0.0.1:1", Duration: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected registration error against dead backend")
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed traced event: a name, optional attributes, and
+// when/how long it ran.
+type Span struct {
+	Name  string
+	Attrs []Label
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Tracer keeps the most recent spans in a fixed-capacity ring buffer.
+// When the ring is full, the oldest span is overwritten and Dropped
+// increments — tracing never blocks or grows without bound. A nil *Tracer
+// is a valid no-op tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int // ring write cursor
+	n       int // live spans (<= cap)
+	dropped int64
+}
+
+// NewTracer returns a tracer retaining up to capacity spans (min 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Span, capacity)}
+}
+
+// Record appends a completed span.
+func (t *Tracer) Record(name string, start time.Time, dur time.Duration, attrs ...Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == len(t.buf) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[t.next] = Span{Name: name, Attrs: attrs, Start: start, Dur: dur}
+	t.next = (t.next + 1) % len(t.buf)
+}
+
+// ActiveSpan is an in-flight span; End records it.
+type ActiveSpan struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs []Label
+}
+
+// Start opens a span; call End (or AddAttr then End) to record it.
+func (t *Tracer) Start(name string, attrs ...Label) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, name: name, start: time.Now(), attrs: attrs}
+}
+
+// AddAttr attaches an attribute to the span before it ends.
+func (a *ActiveSpan) AddAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	a.attrs = append(a.attrs, Label{Key: key, Value: value})
+}
+
+// End records the span with its measured duration.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.t.Record(a.name, a.start, time.Since(a.start), a.attrs...)
+}
+
+// Drain returns all retained spans oldest-first and empties the ring.
+func (t *Tracer) Drain() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	start := (t.next - t.n + len(t.buf)) % len(t.buf)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	t.n, t.next = 0, 0
+	return out
+}
+
+// Len returns how many spans are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many spans were overwritten before being drained.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

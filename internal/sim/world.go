@@ -3,9 +3,11 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
 
 // Config configures a World.
@@ -129,6 +131,38 @@ type World struct {
 	// AreaFares accumulates passenger spend by pickup area (lifetime,
 	// never reset — the attack experiment diffs it across a window).
 	AreaFares []float64
+
+	// nil-safe metric handles; zero until Instrument is called. The
+	// counters mirror the lifetime totals by delta so Prometheus sees
+	// monotonic series.
+	hStep         *obs.Histogram
+	gDrivers      *obs.Gauge
+	gSimTime      *obs.Gauge
+	mPickups      *obs.Counter
+	mPricedOut    *obs.Counter
+	mUnmet        *obs.Counter
+	lastPickups   int64
+	lastPricedOut int64
+	lastUnmet     int64
+}
+
+// Instrument wires the world's metrics into reg:
+//
+//	sim_step_duration_seconds   wall-clock cost of one tick
+//	sim_drivers_online          current online driver count
+//	sim_time_seconds            simulation clock
+//	sim_pickups_total           fulfilled requests
+//	sim_requests_priced_out_total / sim_requests_unmet_total  lost demand
+func (w *World) Instrument(reg *obs.Registry) {
+	w.hStep = reg.Histogram("sim_step_duration_seconds", nil)
+	w.gDrivers = reg.Gauge("sim_drivers_online")
+	w.gSimTime = reg.Gauge("sim_time_seconds")
+	w.mPickups = reg.Counter("sim_pickups_total")
+	w.mPricedOut = reg.Counter("sim_requests_priced_out_total")
+	w.mUnmet = reg.Counter("sim_requests_unmet_total")
+	w.lastPickups = w.TotalPickups
+	w.lastPricedOut = w.TotalPricedOut
+	w.lastUnmet = w.TotalUnmet
 }
 
 // CommissionRate is Uber's share of each fare (§2).
@@ -384,6 +418,10 @@ func (w *World) removeDriver(i int) {
 
 // Step advances the world by one tick.
 func (w *World) Step() {
+	var stepStart time.Time
+	if w.hStep != nil {
+		stepStart = time.Now()
+	}
 	dt := float64(w.cfg.TickSeconds)
 	w.now += w.cfg.TickSeconds
 	w.tick++
@@ -394,6 +432,18 @@ func (w *World) Step() {
 	w.generateRequests(dt)
 	w.accumulateStats()
 	w.expireShocks()
+
+	if w.hStep != nil {
+		w.hStep.ObserveDuration(time.Since(stepStart))
+		w.gDrivers.Set(float64(len(w.drivers)))
+		w.gSimTime.Set(float64(w.now))
+		w.mPickups.Add(w.TotalPickups - w.lastPickups)
+		w.mPricedOut.Add(w.TotalPricedOut - w.lastPricedOut)
+		w.mUnmet.Add(w.TotalUnmet - w.lastUnmet)
+		w.lastPickups = w.TotalPickups
+		w.lastPricedOut = w.TotalPricedOut
+		w.lastUnmet = w.TotalUnmet
+	}
 }
 
 // ForceOffline takes up to n idle drivers of the product inside the surge

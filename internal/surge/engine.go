@@ -23,7 +23,9 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -76,6 +78,28 @@ type Engine struct {
 	// History records the ground-truth multiplier series per area, one
 	// entry per completed update, for tests and ablations.
 	History [][]float64
+
+	// nil-safe metric handles; zero until Instrument is called.
+	mUpdates    *obs.Counter
+	mChanges    *obs.Counter
+	hUpdateDur  *obs.Histogram
+	gMaxMult    *obs.Gauge
+	gSurgeAreas *obs.Gauge
+}
+
+// Instrument wires the engine's metrics into reg:
+//
+//	surge_updates_total            completed 5-minute updates
+//	surge_multiplier_changes_total areas whose multiplier moved at an update
+//	surge_update_duration_seconds  wall-clock cost of one update pass
+//	surge_max_multiplier           highest current multiplier across areas
+//	surge_areas_surging            areas currently above 1.0
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.mUpdates = reg.Counter("surge_updates_total")
+	e.mChanges = reg.Counter("surge_multiplier_changes_total")
+	e.hUpdateDur = reg.Histogram("surge_update_duration_seconds", nil)
+	e.gMaxMult = reg.Gauge("surge_max_multiplier")
+	e.gSurgeAreas = reg.Gauge("surge_areas_surging")
 }
 
 // New builds an engine over the world and installs it as the world's surge
@@ -123,6 +147,7 @@ func (e *Engine) Step(now int64) {
 // update recomputes every area's multiplier for the interval starting at
 // boundary.
 func (e *Engine) update(boundary int64) {
+	updateStart := time.Now()
 	p := e.cfg.Params
 	copy(e.prev, e.cur)
 	snapshot := make([]float64, len(e.cur))
@@ -181,6 +206,42 @@ func (e *Engine) update(boundary int64) {
 	}
 	e.History = append(e.History, snapshot)
 	e.scheduleSwitches(boundary)
+
+	e.mUpdates.Inc()
+	e.hUpdateDur.ObserveDuration(time.Since(updateStart))
+	var changed int64
+	maxMult := 1.0
+	surging := 0.0
+	for a := range e.cur {
+		if e.cur[a] != e.prev[a] {
+			changed++
+		}
+		if e.cur[a] > maxMult {
+			maxMult = e.cur[a]
+		}
+		if e.cur[a] > 1 {
+			surging++
+		}
+	}
+	e.mChanges.Add(changed)
+	e.gMaxMult.Set(maxMult)
+	e.gSurgeAreas.Set(surging)
+}
+
+// InJitter reports whether clientID is inside an April-bug jitter window
+// at simulation time now (always false when Jitter is off). The api layer
+// uses this to count jitter servings without duplicating the schedule
+// math.
+func (e *Engine) InJitter(clientID string, now int64) bool {
+	if !e.cfg.Jitter {
+		return false
+	}
+	start, dur := e.jitterWindow(clientID, e.intervalStart)
+	if start < 0 {
+		return false
+	}
+	t := now - e.intervalStart
+	return t >= start && t < start+dur
 }
 
 // scheduleSwitches draws this interval's API propagation delay: updates
