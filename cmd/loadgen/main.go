@@ -6,6 +6,7 @@
 //
 //	loadgen -addr http://localhost:8080 -clients 16 -duration 30s
 //	loadgen -addr http://localhost:8080 -clients 8 -rate 2 -city sf
+//	loadgen -addr http://localhost:8080 -clients 16 -json > run.json
 //
 // With -rate 0 (the default) each client issues its next request as soon
 // as the previous response lands — the classic closed-loop saturation
@@ -37,6 +38,7 @@ func main() {
 		pingW    = flag.Int("ping-weight", 8, "pingClient share of the request mix")
 		priceW   = flag.Int("price-weight", 1, "estimates/price share of the request mix")
 		timeW    = flag.Int("time-weight", 1, "estimates/time share of the request mix")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON on stdout (banner goes to stderr)")
 	)
 	flag.Parse()
 
@@ -55,7 +57,11 @@ func main() {
 		loc = profile.Origin
 	}
 
-	fmt.Printf("loadgen: %d clients -> %s for %s (rate %g req/s/client, mix %d:%d:%d, loc %.4f,%.4f)\n",
+	banner := os.Stdout
+	if *asJSON {
+		banner = os.Stderr // keep stdout pure JSON for pipelines
+	}
+	fmt.Fprintf(banner, "loadgen: %d clients -> %s for %s (rate %g req/s/client, mix %d:%d:%d, loc %.4f,%.4f)\n",
 		*clients, *addr, *duration, *rate, *pingW, *priceW, *timeW, loc.Lat, loc.Lng)
 	report, err := loadgen.Run(loadgen.Config{
 		BaseURL:     *addr,
@@ -70,6 +76,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		out, err := report.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", out)
+		return
 	}
 	fmt.Print(report.String())
 }

@@ -1,0 +1,86 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkPingClientParallel measures the lock-free ping path under
+// contention: a background goroutine steps the world (publishing a fresh
+// snapshot every tick) while b.RunParallel hammers PingClient. Before the
+// snapshot refactor every iteration serialized on Service.mu; now
+// throughput should scale with GOMAXPROCS.
+func BenchmarkPingClientParallel(b *testing.B) {
+	s := NewBackend(sim.SanFrancisco(), 42, true)
+	for i := 0; i < 64; i++ {
+		s.Register(fmt.Sprintf("bench-%02d", i))
+	}
+	loc := center(s)
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			s.Step()
+		}
+	}()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("bench-%02d", ctr.Add(1)%64)
+		for pb.Next() {
+			if _, err := s.PingClient(id, loc); err != nil {
+				b.Errorf("PingClient: %v", err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+}
+
+// BenchmarkPingClientSerial is the single-goroutine baseline for the
+// parallel benchmark (no background stepping).
+func BenchmarkPingClientSerial(b *testing.B) {
+	s := NewBackend(sim.SanFrancisco(), 42, true)
+	s.Register("bench-00")
+	loc := center(s)
+	s.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PingClient("bench-00", loc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatePriceParallel exercises the sharded rate-limit charge
+// plus the snapshot read, across 64 accounts so charges spread over all
+// 16 shards.
+func BenchmarkEstimatePriceParallel(b *testing.B) {
+	s := NewBackend(sim.SanFrancisco(), 42, false)
+	for i := 0; i < 64; i++ {
+		s.Register(fmt.Sprintf("bench-%02d", i))
+	}
+	loc := center(s)
+	s.Step()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("bench-%02d", ctr.Add(1)%64)
+		for pb.Next() {
+			if _, err := s.EstimatePrice(id, loc); err != nil && !errors.Is(err, ErrRateLimited) {
+				b.Errorf("EstimatePrice: %v", err)
+				return
+			}
+		}
+	})
+}

@@ -72,10 +72,10 @@ func TestLocationFuzzStableWithinWindow(t *testing.T) {
 	// Within a 30-second window the same car keeps the same perturbed
 	// position (no artificial motion).
 	s := testBackend(t, false)
-	s.SetLocationFuzz(25)
-	p := s.fuzzPos("car-x", 990, center(s))
-	q := s.fuzzPos("car-x", 1015, center(s)) // same 30 s window [990,1020)
-	r := s.fuzzPos("car-x", 1020, center(s)) // next window
+	proj := s.World().Projection()
+	p := fuzzPos(proj, 25, "car-x", 990, center(s))
+	q := fuzzPos(proj, 25, "car-x", 1015, center(s)) // same 30 s window [990,1020)
+	r := fuzzPos(proj, 25, "car-x", 1020, center(s)) // next window
 	if p != q {
 		t.Error("perturbation changed within a window")
 	}

@@ -31,36 +31,26 @@ func (s *Service) RegisterPartner(driverID string, agreeNoScraping bool) error {
 	if !agreeNoScraping {
 		return errors.New("api: partners must accept the data-collection agreement")
 	}
-	s.amu.Lock()
-	defer s.amu.Unlock()
-	if _, ok := s.accounts[driverID]; !ok {
-		s.accounts[driverID] = &account{}
+	if s.accounts.registerPartner(driverID) {
 		s.mRegistrations.Inc()
 	}
-	s.partners[driverID] = true
 	return nil
 }
 
 // PartnerMap returns the surge map the Partner app renders: every surge
 // area polygon with its current multiplier (API stream semantics — the
-// driver map has no jitter).
+// driver map has no jitter). Served from the published snapshot, lock-free.
 func (s *Service) PartnerMap(driverID string) ([]PartnerArea, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.amu.Lock()
-	isPartner := s.partners[driverID]
-	s.amu.Unlock()
-	if !isPartner {
+	if !s.accounts.isPartner(driverID) {
 		return nil, ErrNotPartner
 	}
-	proj := s.world.Projection()
-	now := s.world.Now()
-	areas := s.world.Areas()
-	out := make([]PartnerArea, 0, len(areas))
-	for a, pg := range areas {
-		pa := PartnerArea{Area: a, Surge: s.engine.APIMultiplier(a, now)}
+	st := s.state.Load()
+	snap, sv := st.world, st.surge
+	out := make([]PartnerArea, 0, len(snap.Areas))
+	for a, pg := range snap.Areas {
+		pa := PartnerArea{Area: a, Surge: sv.APIMultiplier(a, snap.Now)}
 		for _, v := range pg.Vertices {
-			pa.Vertices = append(pa.Vertices, proj.ToLatLng(v))
+			pa.Vertices = append(pa.Vertices, snap.Proj.ToLatLng(v))
 		}
 		out = append(out, pa)
 	}

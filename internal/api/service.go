@@ -14,6 +14,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -38,30 +39,42 @@ type account struct {
 	calls      int
 }
 
+// queryState is one published epoch of the lock-free query path: an
+// immutable world snapshot paired with the surge engine's immutable read
+// view, both taken at the end of the same tick.
+type queryState struct {
+	world *sim.Snapshot
+	surge *surge.View
+}
+
 // Service answers client and API queries against a running backend.
 // All methods are safe for concurrent use.
 //
-// Locking: mu guards the world/engine pair — queries take it shared, so
-// the read-dominant pingClient/estimates endpoints run concurrently and
-// only Step (and the rare setters) exclude them. Account bookkeeping
-// lives under its own amu so the per-request auth write (rate-limit
-// charge) never serializes the world readers behind it. Lock order is
-// always mu before amu; no path holds amu while acquiring mu.
+// Concurrency model: the query endpoints (PingClient, EstimatePrice,
+// EstimateTime, PartnerMap) are lock-free. Step holds mu while advancing
+// the world and engine, then publishes an immutable queryState through an
+// atomic pointer; queries load the pointer and serve entirely from that
+// snapshot, so they never contend with Step or with each other. Answers
+// are at most one tick (5 simulated seconds) stale — the same quantization
+// the surge clock already imposes on the data. Account bookkeeping (auth
+// and rate-limit charges) lives in a 16-way sharded table with per-shard
+// mutexes, so the per-request auth write doesn't serialize the request
+// stream either.
 type Service struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex // serializes Step and the world/engine writers
 	world  *sim.World
 	engine *surge.Engine
 	fares  map[core.VehicleType]core.FareSchedule
 
-	amu      sync.Mutex
-	accounts map[string]*account
-	partners map[string]bool
+	state    atomic.Pointer[queryState]
+	accounts accountTable
 
 	// locationFuzz perturbs reported car positions (§3.3: Uber stated
 	// car locations "may be slightly perturbed to protect drivers'
 	// safety"). 0 disables. The perturbation is deterministic per
-	// (car, 30-second window) so co-located clients still agree.
-	locationFuzz float64
+	// (car, 30-second window) so co-located clients still agree. Stored
+	// as float64 bits so the lock-free query path can read it atomically.
+	locationFuzz atomic.Uint64
 
 	// offered products (fleet share > 0), precomputed and immutable.
 	offered []core.VehicleType
@@ -78,19 +91,25 @@ var _ core.Service = (*Service)(nil)
 // they can query (the paper created 43 credit-card-backed accounts).
 func NewService(w *sim.World, e *surge.Engine) *Service {
 	s := &Service{
-		world:    w,
-		engine:   e,
-		fares:    core.DefaultFares(),
-		accounts: make(map[string]*account),
-		partners: make(map[string]bool),
+		world:  w,
+		engine: e,
+		fares:  core.DefaultFares(),
 	}
+	s.accounts.init()
 	shares := sim.NormalizedShares(w.Profile().FleetShare)
 	for _, vt := range core.AllVehicleTypes() {
 		if shares[int(vt)] > 0 {
 			s.offered = append(s.offered, vt)
 		}
 	}
+	s.publish()
 	return s
+}
+
+// publish freezes the current world/engine state into a fresh queryState
+// epoch. Callers must hold mu (or be the constructor).
+func (s *Service) publish() {
+	s.state.Store(&queryState{world: s.world.Snapshot(), surge: s.engine.View()})
 }
 
 // Instrument wires the service's counters into reg and cascades to the
@@ -109,28 +128,23 @@ func (s *Service) Instrument(reg *obs.Registry) {
 
 // Register creates an account for clientID; registering twice is a no-op.
 func (s *Service) Register(clientID string) {
-	s.amu.Lock()
-	defer s.amu.Unlock()
-	if _, ok := s.accounts[clientID]; !ok {
-		s.accounts[clientID] = &account{}
+	if s.accounts.register(clientID) {
 		s.mRegistrations.Inc()
 	}
 }
 
 // Accounts returns the number of registered accounts.
-func (s *Service) Accounts() int {
-	s.amu.Lock()
-	defer s.amu.Unlock()
-	return len(s.accounts)
-}
+func (s *Service) Accounts() int { return s.accounts.count() }
 
-// Step advances the backend one tick. Exposed so a real-time shell
-// (cmd/uberd) and the measurement campaign can drive the same instance.
+// Step advances the backend one tick and publishes a fresh snapshot epoch
+// to the query path. Exposed so a real-time shell (cmd/uberd) and the
+// measurement campaign can drive the same instance.
 func (s *Service) Step() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.world.Step()
 	s.engine.Step(s.world.Now())
+	s.publish()
 }
 
 // RunUntil advances the backend to simulation time end.
@@ -140,11 +154,9 @@ func (s *Service) RunUntil(end int64) {
 	}
 }
 
-// Now returns the backend's simulation time.
+// Now returns the backend's simulation time (of the published snapshot).
 func (s *Service) Now() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.world.Now()
+	return s.state.Load().world.Now
 }
 
 // World exposes the underlying world for ground-truth validation in tests
@@ -157,73 +169,63 @@ func (s *Service) Engine() *surge.Engine { return s.engine }
 // auth validates the account without rate limiting (pingClient is not
 // rate limited: the app itself pings every 5 seconds, §3.3).
 func (s *Service) auth(clientID string) error {
-	s.amu.Lock()
-	defer s.amu.Unlock()
-	if _, ok := s.accounts[clientID]; !ok {
+	if !s.accounts.exists(clientID) {
 		return fmt.Errorf("%w: %q", ErrUnknownAccount, clientID)
 	}
 	return nil
 }
 
 // authLimited validates the account and charges one API call against the
-// hourly rate limit. now is the simulation time (read under mu by the
-// caller; amu alone guards the account state).
+// hourly rate limit at simulation time now.
 func (s *Service) authLimited(clientID string, now int64) error {
-	s.amu.Lock()
-	defer s.amu.Unlock()
-	a, ok := s.accounts[clientID]
-	if !ok {
+	switch s.accounts.charge(clientID, now) {
+	case chargeUnknownAccount:
 		return fmt.Errorf("%w: %q", ErrUnknownAccount, clientID)
-	}
-	bucket := now / 3600
-	if a.hourBucket != bucket {
-		a.hourBucket = bucket
-		a.calls = 0
-	}
-	if a.calls >= RateLimitPerHour {
+	case chargeLimited:
 		s.mRateLimited.Inc()
 		return ErrRateLimited
 	}
-	a.calls++
 	return nil
 }
 
 // PingClient emulates the Client app's 5-second ping: for each offered
 // product it returns the eight nearest available cars (randomized session
 // IDs and path vectors), the EWT, and the surge multiplier — including,
-// when the April bug is active, per-client jitter.
+// when the April bug is active, per-client jitter. The response is served
+// entirely from the published snapshot epoch; no lock is taken.
 func (s *Service) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if err := s.auth(clientID); err != nil {
 		return nil, err
 	}
-	p := s.world.Projection().ToPlane(loc)
-	if !s.world.Profile().Region.Contains(p) {
+	st := s.state.Load()
+	snap, sv := st.world, st.surge
+	p := snap.Proj.ToPlane(loc)
+	if !snap.Region.Contains(p) {
 		return nil, ErrOutOfService
 	}
-	area := sim.AreaOf(s.world.Areas(), p)
-	now := s.world.Now()
+	area := snap.AreaOf(p)
+	now := snap.Now
+	fuzz := s.fuzzMeters()
 	resp := &core.PingResponse{Time: now}
 	for _, vt := range s.offered {
-		st := core.TypeStatus{
+		ts := core.TypeStatus{
 			Type:       vt,
 			TypeName:   vt.String(),
-			Cars:       s.world.NearestCars(vt, p, core.MaxVisibleCars),
-			EWTSeconds: s.world.EWT(vt, p),
+			Cars:       snap.NearestCars(vt, p, core.MaxVisibleCars),
+			EWTSeconds: snap.EWT(vt, p),
 			Surge:      1,
 		}
 		if vt.Surgeable() {
-			st.Surge = s.engine.ClientMultiplier(clientID, area, now)
+			ts.Surge = sv.ClientMultiplier(clientID, area, now)
 		}
-		if s.locationFuzz > 0 {
-			for i := range st.Cars {
-				st.Cars[i].Pos = s.fuzzPos(st.Cars[i].ID, now, st.Cars[i].Pos)
+		if fuzz > 0 {
+			for i := range ts.Cars {
+				ts.Cars[i].Pos = fuzzPos(snap.Proj, fuzz, ts.Cars[i].ID, now, ts.Cars[i].Pos)
 			}
 		}
-		resp.Types = append(resp.Types, st)
+		resp.Types = append(resp.Types, ts)
 	}
-	if s.engine.InJitter(clientID, now) {
+	if sv.InJitter(clientID, now) {
 		s.mJitterServed.Inc()
 	}
 	return resp, nil
@@ -232,14 +234,16 @@ func (s *Service) PingClient(clientID string, loc geo.LatLng) (*core.PingRespons
 // SetLocationFuzz enables deterministic perturbation of reported car
 // positions by up to meters.
 func (s *Service) SetLocationFuzz(meters float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.locationFuzz = meters
+	s.locationFuzz.Store(math.Float64bits(meters))
 }
 
-// fuzzPos displaces a reported position inside a disc of radius
-// locationFuzz, deterministically per (car, 30-second window).
-func (s *Service) fuzzPos(carID string, now int64, ll geo.LatLng) geo.LatLng {
+func (s *Service) fuzzMeters() float64 {
+	return math.Float64frombits(s.locationFuzz.Load())
+}
+
+// fuzzPos displaces a reported position inside a disc of radius fuzz,
+// deterministically per (car, 30-second window).
+func fuzzPos(proj *geo.Projection, fuzz float64, carID string, now int64, ll geo.LatLng) geo.LatLng {
 	h := fnv.New64a()
 	h.Write([]byte(carID))
 	var buf [8]byte
@@ -250,32 +254,31 @@ func (s *Service) fuzzPos(carID string, now int64, ll geo.LatLng) geo.LatLng {
 	h.Write(buf[:])
 	v := h.Sum64()
 	ang := float64(v&0xFFFF) / 65536 * 2 * math.Pi
-	rad := math.Sqrt(float64(v>>16&0xFFFF)/65536) * s.locationFuzz
-	proj := s.world.Projection()
+	rad := math.Sqrt(float64(v>>16&0xFFFF)/65536) * fuzz
 	p := proj.ToPlane(ll)
 	return proj.ToLatLng(geo.Point{X: p.X + rad*math.Cos(ang), Y: p.Y + rad*math.Sin(ang)})
 }
 
 // EstimatePrice emulates the estimates/price endpoint: fare ranges for a
 // nominal 5 km / 15 minute trip under the current API-stream surge
-// multiplier (no jitter), rate limited per account.
+// multiplier (no jitter), rate limited per account. Lock-free.
 func (s *Service) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEstimate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if err := s.authLimited(clientID, s.world.Now()); err != nil {
+	st := s.state.Load()
+	snap, sv := st.world, st.surge
+	now := snap.Now
+	if err := s.authLimited(clientID, now); err != nil {
 		return nil, err
 	}
-	p := s.world.Projection().ToPlane(loc)
-	if !s.world.Profile().Region.Contains(p) {
+	p := snap.Proj.ToPlane(loc)
+	if !snap.Region.Contains(p) {
 		return nil, ErrOutOfService
 	}
-	area := sim.AreaOf(s.world.Areas(), p)
-	now := s.world.Now()
+	area := snap.AreaOf(p)
 	out := make([]core.PriceEstimate, 0, len(s.offered))
 	for _, vt := range s.offered {
 		m := 1.0
 		if vt.Surgeable() {
-			m = s.engine.APIMultiplier(area, now)
+			m = sv.APIMultiplier(area, now)
 		}
 		const nominalMeters, nominalSeconds = 5000.0, 900.0
 		mid := s.fares[vt].Fare(nominalMeters, nominalSeconds, m)
@@ -291,22 +294,22 @@ func (s *Service) EstimatePrice(clientID string, loc geo.LatLng) ([]core.PriceEs
 }
 
 // EstimateTime emulates the estimates/time endpoint: EWT per product,
-// rate limited per account.
+// rate limited per account. Lock-free.
 func (s *Service) EstimateTime(clientID string, loc geo.LatLng) ([]core.TimeEstimate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if err := s.authLimited(clientID, s.world.Now()); err != nil {
+	st := s.state.Load()
+	snap := st.world
+	if err := s.authLimited(clientID, snap.Now); err != nil {
 		return nil, err
 	}
-	p := s.world.Projection().ToPlane(loc)
-	if !s.world.Profile().Region.Contains(p) {
+	p := snap.Proj.ToPlane(loc)
+	if !snap.Region.Contains(p) {
 		return nil, ErrOutOfService
 	}
 	out := make([]core.TimeEstimate, 0, len(s.offered))
 	for _, vt := range s.offered {
 		out = append(out, core.TimeEstimate{
 			TypeName:   vt.String(),
-			EWTSeconds: s.world.EWT(vt, p),
+			EWTSeconds: snap.EWT(vt, p),
 		})
 	}
 	return out, nil

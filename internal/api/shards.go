@@ -1,0 +1,126 @@
+package api
+
+import "sync"
+
+// accountShards is the number of independently locked account shards.
+// Before sharding, every request — including the lock-free snapshot
+// queries — funneled through one account mutex for auth; 16 shards keyed
+// by an FNV-1a hash of the client ID let unrelated accounts authenticate
+// and charge their rate limits concurrently. Must be a power of two.
+const accountShards = 16
+
+// accountShard is one lock domain of the table.
+type accountShard struct {
+	mu       sync.Mutex
+	accounts map[string]*account
+	partners map[string]bool
+}
+
+// accountTable is the sharded registry of user accounts and partner
+// flags. The zero value is not usable; call init first.
+type accountTable struct {
+	shards [accountShards]accountShard
+}
+
+func (t *accountTable) init() {
+	for i := range t.shards {
+		t.shards[i].accounts = make(map[string]*account)
+		t.shards[i].partners = make(map[string]bool)
+	}
+}
+
+// shard returns the shard owning id (FNV-1a, inlined for the hot path).
+func (t *accountTable) shard(id string) *accountShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &t.shards[h&(accountShards-1)]
+}
+
+// register creates the account if absent; reports whether it was created.
+func (t *accountTable) register(id string) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[id]; ok {
+		return false
+	}
+	s.accounts[id] = &account{}
+	return true
+}
+
+// registerPartner marks id as a partner, creating the account if absent;
+// reports whether a new account was created.
+func (t *accountTable) registerPartner(id string) (created bool) {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[id]; !ok {
+		s.accounts[id] = &account{}
+		created = true
+	}
+	s.partners[id] = true
+	return created
+}
+
+// exists reports whether id is registered.
+func (t *accountTable) exists(id string) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.accounts[id]
+	return ok
+}
+
+// isPartner reports whether id is a registered partner.
+func (t *accountTable) isPartner(id string) bool {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partners[id]
+}
+
+// chargeResult is the outcome of a rate-limit charge attempt.
+type chargeResult int
+
+const (
+	chargeOK chargeResult = iota
+	chargeUnknownAccount
+	chargeLimited
+)
+
+// charge validates id and charges one API call against the hourly rate
+// limit at simulation time now.
+func (t *accountTable) charge(id string, now int64) chargeResult {
+	s := t.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.accounts[id]
+	if !ok {
+		return chargeUnknownAccount
+	}
+	bucket := now / 3600
+	if a.hourBucket != bucket {
+		a.hourBucket = bucket
+		a.calls = 0
+	}
+	if a.calls >= RateLimitPerHour {
+		return chargeLimited
+	}
+	a.calls++
+	return chargeOK
+}
+
+// count returns the number of registered accounts, locking one shard at a
+// time so the count never blocks the whole request stream.
+func (t *accountTable) count() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.accounts)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package geo
+
+import "math"
+
+// AreaIndex answers "which polygon contains this point" in O(1) for a
+// fixed set of polygons, replacing the linear point-in-polygon scan that
+// every request otherwise pays. It rasterizes the polygons' union
+// bounding box into a uniform grid and classifies each cell once at build
+// time:
+//
+//   - a cell crossed by no polygon edge lies entirely inside or outside
+//     every polygon, so the first-match answer is constant across the
+//     cell and can be precomputed from any interior point;
+//   - a cell touched by any edge is marked mixed and falls back to the
+//     exact polygon tests at query time (first match in input order,
+//     identical to the brute-force scan).
+//
+// The index is immutable after construction and safe for concurrent use.
+type AreaIndex struct {
+	areas  []Polygon
+	bboxes []Rect
+	bounds Rect
+	cellW  float64
+	cellH  float64
+	nx, ny int
+	cell   []int32 // resolved area per cell, or mixedCell
+}
+
+// mixedCell marks a raster cell crossed by a polygon edge; queries landing
+// there run the exact test. Resolved cells store the area index, or -1 for
+// "outside every polygon".
+const mixedCell = int32(-2)
+
+// maxAreaCells bounds the raster size; the cell edge is grown until the
+// grid fits, so a tiny cellSize cannot allocate an unbounded index.
+const maxAreaCells = 1 << 18
+
+// NewAreaIndex rasterizes areas at the given cell size (meters). A
+// non-positive cellSize picks ~128 cells along the longer axis. The input
+// slice is retained and must not be mutated afterwards.
+func NewAreaIndex(areas []Polygon, cellSize float64) *AreaIndex {
+	ai := &AreaIndex{areas: areas}
+	if len(areas) == 0 {
+		return ai
+	}
+	ai.bboxes = make([]Rect, len(areas))
+	ai.bounds = areas[0].Bounds()
+	for i, pg := range areas {
+		b := pg.Bounds()
+		ai.bboxes[i] = b
+		ai.bounds.Min.X = math.Min(ai.bounds.Min.X, b.Min.X)
+		ai.bounds.Min.Y = math.Min(ai.bounds.Min.Y, b.Min.Y)
+		ai.bounds.Max.X = math.Max(ai.bounds.Max.X, b.Max.X)
+		ai.bounds.Max.Y = math.Max(ai.bounds.Max.Y, b.Max.Y)
+	}
+	w, h := ai.bounds.Width(), ai.bounds.Height()
+	if cellSize <= 0 {
+		cellSize = math.Max(w, h) / 128
+	}
+	if cellSize <= 0 {
+		cellSize = 1 // degenerate (point/line) bounds
+	}
+	for {
+		ai.nx = int(math.Ceil(w/cellSize)) + 1
+		ai.ny = int(math.Ceil(h/cellSize)) + 1
+		if ai.nx*ai.ny <= maxAreaCells {
+			break
+		}
+		cellSize *= 2
+	}
+	ai.cellW = cellSize
+	ai.cellH = cellSize
+	ai.cell = make([]int32, ai.nx*ai.ny)
+	for i := range ai.cell {
+		ai.cell[i] = int32(-3) // unclassified
+	}
+
+	// Mark every cell overlapped by a polygon edge as mixed. Only cells
+	// inside the edge's own bounding box need testing.
+	for _, pg := range areas {
+		n := len(pg.Vertices)
+		for i := 0; i < n; i++ {
+			a := pg.Vertices[i]
+			b := pg.Vertices[(i+1)%n]
+			x0 := ai.clampX(math.Min(a.X, b.X))
+			x1 := ai.clampX(math.Max(a.X, b.X))
+			y0 := ai.clampY(math.Min(a.Y, b.Y))
+			y1 := ai.clampY(math.Max(a.Y, b.Y))
+			for cy := y0; cy <= y1; cy++ {
+				for cx := x0; cx <= x1; cx++ {
+					idx := cy*ai.nx + cx
+					if ai.cell[idx] == mixedCell {
+						continue
+					}
+					if segIntersectsRect(a, b, ai.cellRect(cx, cy)) {
+						ai.cell[idx] = mixedCell
+					}
+				}
+			}
+		}
+	}
+
+	// Resolve every untouched cell from its center: with no edge crossing
+	// the cell, containment is constant across it.
+	for cy := 0; cy < ai.ny; cy++ {
+		for cx := 0; cx < ai.nx; cx++ {
+			idx := cy*ai.nx + cx
+			if ai.cell[idx] == mixedCell {
+				continue
+			}
+			ai.cell[idx] = int32(ai.exact(ai.cellRect(cx, cy).Center()))
+		}
+	}
+	return ai
+}
+
+// Len returns the number of indexed polygons.
+func (ai *AreaIndex) Len() int { return len(ai.areas) }
+
+// Areas returns the indexed polygons (shared; do not mutate).
+func (ai *AreaIndex) Areas() []Polygon { return ai.areas }
+
+func (ai *AreaIndex) clampX(x float64) int {
+	c := int((x - ai.bounds.Min.X) / ai.cellW)
+	if c < 0 {
+		return 0
+	}
+	if c >= ai.nx {
+		return ai.nx - 1
+	}
+	return c
+}
+
+func (ai *AreaIndex) clampY(y float64) int {
+	c := int((y - ai.bounds.Min.Y) / ai.cellH)
+	if c < 0 {
+		return 0
+	}
+	if c >= ai.ny {
+		return ai.ny - 1
+	}
+	return c
+}
+
+func (ai *AreaIndex) cellRect(cx, cy int) Rect {
+	return Rect{
+		Min: Point{ai.bounds.Min.X + float64(cx)*ai.cellW, ai.bounds.Min.Y + float64(cy)*ai.cellH},
+		Max: Point{ai.bounds.Min.X + float64(cx+1)*ai.cellW, ai.bounds.Min.Y + float64(cy+1)*ai.cellH},
+	}
+}
+
+// Find returns the index of the first polygon containing p, or -1 —
+// exactly the answer the brute-force first-match scan gives.
+func (ai *AreaIndex) Find(p Point) int {
+	if len(ai.areas) == 0 {
+		return -1
+	}
+	if !ai.bounds.Contains(p) {
+		return -1 // every polygon lies inside bounds
+	}
+	if a := ai.cell[ai.clampY(p.Y)*ai.nx+ai.clampX(p.X)]; a != mixedCell {
+		return int(a)
+	}
+	return ai.exact(p)
+}
+
+// exact is the brute-force fallback: first polygon (in input order) whose
+// bounding box and ring contain p.
+func (ai *AreaIndex) exact(p Point) int {
+	for i := range ai.areas {
+		if ai.bboxes[i].Contains(p) && ai.areas[i].Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// segIntersectsRect reports whether segment ab intersects (or touches)
+// rect r, via Liang–Barsky clipping. Touching counts as intersecting,
+// which only makes the raster conservatively mark more cells mixed.
+func segIntersectsRect(a, b Point, r Rect) bool {
+	t0, t1 := 0.0, 1.0
+	dx, dy := b.X-a.X, b.Y-a.Y
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	return clip(-dx, a.X-r.Min.X) && clip(dx, r.Max.X-a.X) &&
+		clip(-dy, a.Y-r.Min.Y) && clip(dy, r.Max.Y-a.Y) && t0 <= t1
+}

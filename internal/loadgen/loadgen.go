@@ -7,6 +7,7 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -58,25 +59,34 @@ func (c *Config) defaults() {
 	}
 }
 
-// EndpointStats summarizes one endpoint's results.
+// EndpointStats summarizes one endpoint's results. Latencies are in
+// seconds; the JSON field names carry the unit so machine consumers don't
+// have to guess.
 type EndpointStats struct {
-	Requests    int64
-	Errors      int64 // transport failures and unexpected statuses
-	RateLimited int64 // 429s (expected once an account burns its budget)
-	Mean        float64
-	P50         float64
-	P95         float64
-	P99         float64
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`       // transport failures and unexpected statuses
+	RateLimited int64   `json:"rate_limited"` // 429s (expected once an account burns its budget)
+	Mean        float64 `json:"mean_seconds"`
+	P50         float64 `json:"p50_seconds"`
+	P95         float64 `json:"p95_seconds"`
+	P99         float64 `json:"p99_seconds"`
 }
 
 // Report is the outcome of a run.
 type Report struct {
-	Elapsed     time.Duration
-	Requests    int64
-	Errors      int64
-	RateLimited int64
-	RPS         float64
-	Endpoints   map[string]EndpointStats
+	Elapsed     time.Duration            `json:"-"`
+	ElapsedSecs float64                  `json:"elapsed_seconds"`
+	Requests    int64                    `json:"requests"`
+	Errors      int64                    `json:"errors"`
+	RateLimited int64                    `json:"rate_limited"`
+	RPS         float64                  `json:"req_per_sec"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+}
+
+// JSON renders the report as one machine-readable JSON object, the format
+// perf-trajectory tooling diffs across PRs.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // String renders the report as the table cmd/loadgen prints.
@@ -203,7 +213,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	elapsed := time.Since(start)
 
-	rep := &Report{Elapsed: elapsed, Endpoints: make(map[string]EndpointStats)}
+	rep := &Report{
+		Elapsed:     elapsed,
+		ElapsedSecs: elapsed.Seconds(),
+		Endpoints:   make(map[string]EndpointStats),
+	}
 	for i, name := range endpointNames {
 		s := sets[i].hist.Snapshot()
 		es := EndpointStats{

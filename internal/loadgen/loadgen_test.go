@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -62,6 +63,48 @@ func TestRunSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestReportJSON checks the machine-readable form round-trips with the
+// documented field names and agrees with the struct values.
+func TestReportJSON(t *testing.T) {
+	r := &Report{
+		Elapsed:     1500 * time.Millisecond,
+		ElapsedSecs: 1.5,
+		Requests:    120,
+		Errors:      2,
+		RateLimited: 3,
+		RPS:         80,
+		Endpoints: map[string]EndpointStats{
+			"/pingClient": {Requests: 100, Mean: 0.002, P50: 0.0015, P95: 0.004, P99: 0.009},
+		},
+	}
+	out, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ElapsedSeconds float64 `json:"elapsed_seconds"`
+		Requests       int64   `json:"requests"`
+		ReqPerSec      float64 `json:"req_per_sec"`
+		Endpoints      map[string]struct {
+			Requests   int64   `json:"requests"`
+			P99Seconds float64 `json:"p99_seconds"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded.ElapsedSeconds != 1.5 || decoded.Requests != 120 || decoded.ReqPerSec != 80 {
+		t.Errorf("top-level fields wrong: %+v\n%s", decoded, out)
+	}
+	ping, ok := decoded.Endpoints["/pingClient"]
+	if !ok || ping.Requests != 100 || ping.P99Seconds != 0.009 {
+		t.Errorf("endpoint fields wrong: %+v\n%s", decoded.Endpoints, out)
+	}
+	if strings.Contains(string(out), "Elapsed\"") {
+		t.Errorf("Go field names leaked into JSON:\n%s", out)
 	}
 }
 

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// Snapshot is an immutable view of the world at the end of one tick,
+// built by Step's caller and published to the query path. Queries served
+// from a snapshot (pingClient, estimates) never touch the live world, so
+// they run lock-free and at most one tick stale — the same staleness the
+// paper already measures, since surge data is interval-quantized anyway.
+//
+// A snapshot freezes exactly what the read endpoints consume:
+//
+//   - per-product idle-car views with the wire-format fields (session ID,
+//     lat/lng position, projected path) precomputed once per tick instead
+//     of once per ping;
+//   - a compact CSR k-nearest index over those cars, answering the same
+//     queries as the live geo.Grid with identical ordering;
+//   - the rasterized area index and area polygons;
+//   - the simulation clock and the service region.
+//
+// All methods are safe for unlimited concurrent use.
+type Snapshot struct {
+	// Now is the simulation time the snapshot was taken at.
+	Now int64
+	// Areas are the surge-area polygons (shared, immutable).
+	Areas []geo.Polygon
+	// Region is the serviced rectangle (requests outside it are rejected).
+	Region geo.Rect
+	// Proj converts between wire lat/lng and plane coordinates.
+	Proj *geo.Projection
+
+	areaIdx  *geo.AreaIndex
+	products [core.NumVehicleTypes]productIndex
+}
+
+// snapCar is one idle car frozen into a snapshot: the precomputed wire
+// view plus the plane position and stable driver ID the k-nearest search
+// orders by (ties break by ID, matching geo.Grid.KNearest).
+type snapCar struct {
+	id   int64
+	pos  geo.Point
+	view core.CarView
+}
+
+// productIndex is a read-only uniform grid over one product's idle cars in
+// CSR layout: order holds car indices grouped by cell, cellStart[c] ..
+// cellStart[c+1] delimiting cell c's group. Same geometry as the live
+// geo.Grid (same bounds and cell size) so ring-search behaviour matches.
+type productIndex struct {
+	cars      []snapCar
+	bounds    geo.Rect
+	cellSize  float64
+	nx, ny    int
+	cellStart []int32
+	order     []int32
+}
+
+// Snapshot freezes the world's queryable state. It must be called from
+// the same goroutine that steps the world (or under the caller's step
+// lock); the returned snapshot itself is immutable.
+func (w *World) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Now:     w.now,
+		Areas:   w.areas,
+		Region:  w.profile.Region,
+		Proj:    w.proj,
+		areaIdx: w.areaIndex,
+	}
+	var lists [core.NumVehicleTypes][]snapCar
+	for _, d := range w.drivers {
+		if d.State != StateIdle {
+			continue
+		}
+		pts := d.PathPoints()
+		path := make([]geo.LatLng, len(pts))
+		for i, p := range pts {
+			path[i] = w.proj.ToLatLng(p)
+		}
+		lists[int(d.Type)] = append(lists[int(d.Type)], snapCar{
+			id:  d.ID,
+			pos: d.Pos,
+			view: core.CarView{
+				ID:   d.Session,
+				Pos:  w.proj.ToLatLng(d.Pos),
+				Path: path,
+			},
+		})
+	}
+	for vt := range s.products {
+		s.products[vt] = buildProductIndex(lists[vt], w.profile.Region, gridCellMeters)
+	}
+	return s
+}
+
+// AreaOf returns the surge area containing the plane point, or -1;
+// identical to the brute-force AreaOf scan.
+func (s *Snapshot) AreaOf(p geo.Point) int { return s.areaIdx.Find(p) }
+
+// IdleCars returns the number of visible (idle) cars of the product.
+func (s *Snapshot) IdleCars(vt core.VehicleType) int {
+	return len(s.products[int(vt)].cars)
+}
+
+// EWT returns the estimated wait time in seconds for a product at a
+// location, computed exactly as World.EWT does: dispatch overhead plus
+// the street-grid travel time of the nearest idle car, capped at the
+// paper's observed 43-minute maximum.
+func (s *Snapshot) EWT(vt core.VehicleType, pos geo.Point) float64 {
+	near := s.products[int(vt)].kNearest(pos, 1)
+	if len(near) == 0 {
+		return maxEWTSeconds
+	}
+	t := dispatchOverhead + near[0].dist*manhattanFactor/StreetSpeed(s.Now)
+	if t > maxEWTSeconds {
+		t = maxEWTSeconds
+	}
+	return t
+}
+
+// NearestCars returns up to k idle cars of the product nearest to pos as
+// wire-format views, ordered by ascending distance with ties broken by
+// driver ID — the same cars in the same order World.NearestCars returns.
+// The returned slice is fresh; the Path slices are shared with the
+// snapshot and must be treated as read-only.
+func (s *Snapshot) NearestCars(vt core.VehicleType, pos geo.Point, k int) []core.CarView {
+	pi := &s.products[int(vt)]
+	near := pi.kNearest(pos, k)
+	out := make([]core.CarView, 0, len(near))
+	for _, n := range near {
+		out = append(out, pi.cars[n.idx].view)
+	}
+	return out
+}
+
+// gridCellMeters is the uniform cell edge shared by the live geo.Grid
+// and the snapshot index.
+const gridCellMeters = 250.0
+
+func buildProductIndex(cars []snapCar, bounds geo.Rect, cellSize float64) productIndex {
+	nx := int(math.Ceil(bounds.Width()/cellSize)) + 1
+	ny := int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	pi := productIndex{
+		cars:      cars,
+		bounds:    bounds,
+		cellSize:  cellSize,
+		nx:        nx,
+		ny:        ny,
+		cellStart: make([]int32, nx*ny+1),
+		order:     make([]int32, len(cars)),
+	}
+	cellOf := make([]int32, len(cars))
+	for i := range cars {
+		ci := int32(pi.cellIndex(cars[i].pos))
+		cellOf[i] = ci
+		pi.cellStart[ci+1]++
+	}
+	for c := 1; c < len(pi.cellStart); c++ {
+		pi.cellStart[c] += pi.cellStart[c-1]
+	}
+	cursor := make([]int32, nx*ny)
+	copy(cursor, pi.cellStart[:nx*ny])
+	for i := range cars {
+		ci := cellOf[i]
+		pi.order[cursor[ci]] = int32(i)
+		cursor[ci]++
+	}
+	return pi
+}
+
+func (pi *productIndex) cellIndex(p geo.Point) int {
+	cx := int((p.X - pi.bounds.Min.X) / pi.cellSize)
+	cy := int((p.Y - pi.bounds.Min.Y) / pi.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= pi.nx {
+		cx = pi.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= pi.ny {
+		cy = pi.ny - 1
+	}
+	return cy*pi.nx + cx
+}
+
+// snapNeighbor is one k-nearest result: the car's index in pi.cars and
+// its distance from the query point.
+type snapNeighbor struct {
+	idx  int32
+	id   int64
+	dist float64
+}
+
+// kNearest mirrors geo.Grid.KNearest on the frozen CSR layout: expanding
+// ring search, stopping once the nearest unexplored cell cannot hold a
+// closer car, results sorted by (distance, driver ID).
+func (pi *productIndex) kNearest(from geo.Point, k int) []snapNeighbor {
+	if k <= 0 || len(pi.cars) == 0 {
+		return nil
+	}
+	cx := int((from.X - pi.bounds.Min.X) / pi.cellSize)
+	cy := int((from.Y - pi.bounds.Min.Y) / pi.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= pi.nx {
+		cx = pi.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= pi.ny {
+		cy = pi.ny - 1
+	}
+
+	var found []snapNeighbor
+	less := func(i, j int) bool {
+		if found[i].dist != found[j].dist {
+			return found[i].dist < found[j].dist
+		}
+		return found[i].id < found[j].id
+	}
+	maxRing := pi.nx
+	if pi.ny > maxRing {
+		maxRing = pi.ny
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if len(found) >= k {
+			minPossible := float64(ring-1) * pi.cellSize
+			sort.Slice(found, less)
+			if found[k-1].dist <= minPossible {
+				break
+			}
+		}
+		added := false
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if absInt(dx) != ring && absInt(dy) != ring {
+					continue // interior already scanned in earlier rings
+				}
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= pi.nx || y < 0 || y >= pi.ny {
+					continue
+				}
+				added = true
+				c := y*pi.nx + x
+				for _, ci := range pi.order[pi.cellStart[c]:pi.cellStart[c+1]] {
+					car := &pi.cars[ci]
+					found = append(found, snapNeighbor{
+						idx:  ci,
+						id:   car.id,
+						dist: geo.Dist(from, car.pos),
+					})
+				}
+			}
+		}
+		if !added && ring > 0 && len(found) >= k {
+			break
+		}
+	}
+	sort.Slice(found, less)
+	if len(found) > k {
+		found = found[:k]
+	}
+	return found
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

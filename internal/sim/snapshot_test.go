@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// snapshotWorld returns a mid-morning Manhattan world with traffic flowing.
+func snapshotWorld(t testing.TB, seed int64) *World {
+	t.Helper()
+	w := NewWorld(Config{Profile: Manhattan(), Seed: seed, StartTime: 8 * 3600})
+	w.Run(9 * 3600)
+	return w
+}
+
+// The snapshot must answer NearestCars/EWT/AreaOf exactly as the live
+// world does at the tick it was taken.
+func TestSnapshotMatchesLiveWorld(t *testing.T) {
+	w := snapshotWorld(t, 3)
+	rng := rand.New(rand.NewSource(99))
+	for tick := 0; tick < 20; tick++ {
+		w.Step()
+		s := w.Snapshot()
+		if s.Now != w.Now() {
+			t.Fatalf("snapshot Now = %d, world Now = %d", s.Now, w.Now())
+		}
+		r := w.Profile().Region
+		for q := 0; q < 25; q++ {
+			p := geo.Point{
+				X: r.Min.X + rng.Float64()*r.Width(),
+				Y: r.Min.Y + rng.Float64()*r.Height(),
+			}
+			if got, want := s.AreaOf(p), AreaOf(w.Areas(), p); got != want {
+				t.Fatalf("AreaOf(%v) = %d, brute force = %d", p, got, want)
+			}
+			for _, vt := range []core.VehicleType{core.UberX, core.UberBLACK, core.UberPOOL} {
+				if got, want := s.EWT(vt, p), w.EWT(vt, p); got != want {
+					t.Fatalf("EWT(%v, %v) = %v, world = %v", vt, p, got, want)
+				}
+				got := s.NearestCars(vt, p, core.MaxVisibleCars)
+				want := w.NearestCars(vt, p, core.MaxVisibleCars)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("NearestCars(%v, %v):\n snapshot %+v\n world    %+v", vt, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The snapshot index counts exactly the idle cars of each product.
+func TestSnapshotIdleCarCounts(t *testing.T) {
+	w := snapshotWorld(t, 5)
+	s := w.Snapshot()
+	for _, vt := range core.AllVehicleTypes() {
+		idle, _, _ := w.CountByState(vt)
+		if got := s.IdleCars(vt); got != idle {
+			t.Errorf("%v: snapshot has %d idle cars, world has %d", vt, got, idle)
+		}
+	}
+}
+
+// A snapshot keeps answering identically after the world moves on — the
+// frozen views must not alias mutable driver state.
+func TestSnapshotImmutableAcrossSteps(t *testing.T) {
+	w := snapshotWorld(t, 7)
+	s := w.Snapshot()
+	p := w.Profile().Region.Center()
+	before := s.NearestCars(core.UberX, p, 8)
+	ewtBefore := s.EWT(core.UberX, p)
+	for i := 0; i < 50; i++ {
+		w.Step()
+	}
+	after := s.NearestCars(core.UberX, p, 8)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("snapshot answers changed after the world stepped")
+	}
+	if got := s.EWT(core.UberX, p); got != ewtBefore {
+		t.Fatalf("snapshot EWT changed after steps: %v -> %v", ewtBefore, got)
+	}
+}
+
+// The world-integrated AreaIndex agrees with the brute-force scan on the
+// city partitions, including points on area boundaries and corners.
+func TestWorldAreaIndexMatchesAreaOf(t *testing.T) {
+	for _, profile := range []*CityProfile{Manhattan(), SanFrancisco()} {
+		w := NewWorld(Config{Profile: profile, Seed: 1})
+		ai := w.AreaIndex()
+		rng := rand.New(rand.NewSource(11))
+		r := profile.Region
+		for q := 0; q < 5000; q++ {
+			p := geo.Point{
+				X: r.Min.X + (rng.Float64()*1.2-0.1)*r.Width(),
+				Y: r.Min.Y + (rng.Float64()*1.2-0.1)*r.Height(),
+			}
+			if got, want := ai.Find(p), AreaOf(w.Areas(), p); got != want {
+				t.Fatalf("%s: Find(%v) = %d, AreaOf = %d", profile.Name, p, got, want)
+			}
+		}
+		for _, pg := range w.Areas() {
+			for i, v := range pg.Vertices {
+				next := pg.Vertices[(i+1)%len(pg.Vertices)]
+				mid := geo.Point{X: (v.X + next.X) / 2, Y: (v.Y + next.Y) / 2}
+				for _, p := range []geo.Point{v, mid} {
+					if got, want := ai.Find(p), AreaOf(w.Areas(), p); got != want {
+						t.Fatalf("%s: boundary Find(%v) = %d, AreaOf = %d", profile.Name, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSnapshotBuild(b *testing.B) {
+	w := snapshotWorld(b, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := w.Snapshot()
+		if s.Now != w.Now() {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+func BenchmarkAreaIndex(b *testing.B) {
+	w := NewWorld(Config{Profile: Manhattan(), Seed: 1})
+	ai := w.AreaIndex()
+	pts := benchPoints(w.Profile().Region)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ai.Find(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkAreaOfLinear(b *testing.B) {
+	w := NewWorld(Config{Profile: Manhattan(), Seed: 1})
+	areas := w.Areas()
+	pts := benchPoints(w.Profile().Region)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AreaOf(areas, pts[i%len(pts)])
+	}
+}
+
+func benchPoints(r geo.Rect) []geo.Point {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geo.Point, 1024)
+	for i := range pts {
+		pts[i] = geo.Point{
+			X: r.Min.X + rng.Float64()*r.Width(),
+			Y: r.Min.Y + rng.Float64()*r.Height(),
+		}
+	}
+	return pts
+}

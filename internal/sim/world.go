@@ -93,6 +93,7 @@ type World struct {
 	grids [core.NumVehicleTypes]*geo.Grid
 
 	areas      []geo.Polygon
+	areaIndex  *geo.AreaIndex
 	areaStats  []WindowStats
 	surgeOf    func(area int) float64 // provided by the surge engine
 	fleetCDF   []float64              // cumulative fleet shares
@@ -224,11 +225,12 @@ func NewWorld(cfg Config) *World {
 		areas:     p.SurgeAreas(),
 		surgeOf:   func(int) float64 { return 1 },
 	}
+	w.areaIndex = geo.NewAreaIndex(w.areas, gridCellMeters)
 	w.areaStats = make([]WindowStats, len(w.areas))
 	w.fares = core.DefaultFares()
 	w.AreaFares = make([]float64, len(w.areas))
 	for i := range w.grids {
-		w.grids[i] = geo.NewGrid(p.Region, 250)
+		w.grids[i] = geo.NewGrid(p.Region, gridCellMeters)
 	}
 	w.fleetCDF = cdfOf(NormalizedShares(p.FleetShare))
 	w.demandCDF = cdfOf(NormalizedShares(p.DemandShare))
@@ -292,6 +294,10 @@ func (w *World) Projection() *geo.Projection { return w.proj }
 
 // Areas returns the surge-area polygons.
 func (w *World) Areas() []geo.Polygon { return w.areas }
+
+// AreaIndex returns the rasterized point-in-area index over the surge
+// areas; it answers exactly what AreaOf answers, in O(1).
+func (w *World) AreaIndex() *geo.AreaIndex { return w.areaIndex }
 
 // Now returns the current simulation time in seconds.
 func (w *World) Now() int64 { return w.now }
@@ -458,7 +464,7 @@ func (w *World) ForceOffline(vt core.VehicleType, area int, n int, duration int6
 		if d.Type != vt || d.State != StateIdle {
 			continue
 		}
-		if AreaOf(w.areas, d.Pos) != area {
+		if w.areaIndex.Find(d.Pos) != area {
 			continue
 		}
 		w.suspended = append(w.suspended, suspendedDriver{
@@ -547,7 +553,7 @@ func (w *World) spawnArrivals(dt float64) {
 }
 
 func (w *World) surgeWeight(p geo.Point) float64 {
-	a := AreaOf(w.areas, p)
+	a := w.areaIndex.Find(p)
 	if a < 0 {
 		return 1
 	}
@@ -650,7 +656,7 @@ func (w *World) generateRequests(dt float64) {
 
 func (w *World) oneRequest() {
 	pickup := w.samplePlace()
-	area := AreaOf(w.areas, pickup)
+	area := w.areaIndex.Find(pickup)
 	w.oneRequestAt(pickup, area)
 	if area >= 0 {
 		// A shock multiplies arrivals: each unit of factor above 1 adds an
@@ -844,7 +850,7 @@ func (w *World) accumulateStats() {
 		if !d.Type.Surgeable() {
 			continue
 		}
-		a := AreaOf(w.areas, d.Pos)
+		a := w.areaIndex.Find(d.Pos)
 		if a < 0 {
 			continue
 		}

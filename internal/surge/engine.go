@@ -20,7 +20,6 @@
 package surge
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"time"
@@ -75,6 +74,11 @@ type Engine struct {
 	intervalStart int64
 	apiSwitchAt   int64 // when the API stream starts serving cur
 
+	// view is the published immutable read state; every externally
+	// visible multiplier/jitter answer is served through it, so the
+	// lock-free query path and the engine's own accessors cannot diverge.
+	view *View
+
 	// History records the ground-truth multiplier series per area, one
 	// entry per completed update, for tests and ablations.
 	History [][]float64
@@ -121,6 +125,7 @@ func New(w *sim.World, cfg Config) *Engine {
 		prev:  ones(n),
 	}
 	e.scheduleSwitches(w.Now() - w.Now()%UpdatePeriod)
+	e.rebuildView()
 	w.SetSurgeProvider(func(area int) float64 {
 		return e.APIMultiplier(area, w.Now())
 	})
@@ -206,6 +211,7 @@ func (e *Engine) update(boundary int64) {
 	}
 	e.History = append(e.History, snapshot)
 	e.scheduleSwitches(boundary)
+	e.rebuildView()
 
 	e.mUpdates.Inc()
 	e.hUpdateDur.ObserveDuration(time.Since(updateStart))
@@ -233,15 +239,7 @@ func (e *Engine) update(boundary int64) {
 // uses this to count jitter servings without duplicating the schedule
 // math.
 func (e *Engine) InJitter(clientID string, now int64) bool {
-	if !e.cfg.Jitter {
-		return false
-	}
-	start, dur := e.jitterWindow(clientID, e.intervalStart)
-	if start < 0 {
-		return false
-	}
-	t := now - e.intervalStart
-	return t >= start && t < start+dur
+	return e.view.InJitter(clientID, now)
 }
 
 // scheduleSwitches draws this interval's API propagation delay: updates
@@ -273,13 +271,7 @@ func QuantizeStep(m, step float64) float64 {
 // APIMultiplier returns the multiplier the estimates/price API serves for
 // an area at time now. The API stream has no jitter.
 func (e *Engine) APIMultiplier(area int, now int64) float64 {
-	if area < 0 || area >= len(e.cur) {
-		return 1
-	}
-	if now < e.apiSwitchAt {
-		return e.prev[area]
-	}
-	return e.cur[area]
+	return e.view.APIMultiplier(area, now)
 }
 
 // ClientMultiplier returns the multiplier the pingClient stream serves to
@@ -294,30 +286,14 @@ func (e *Engine) APIMultiplier(area int, now int64) float64 {
 // per-client jitter windows leak the previous interval's multiplier for
 // 20-30 s (Figs 14, 16, 17).
 func (e *Engine) ClientMultiplier(clientID string, area int, now int64) float64 {
-	if area < 0 || area >= len(e.cur) {
-		return 1
-	}
-	if !e.cfg.Jitter {
-		return e.APIMultiplier(area, now)
-	}
-	if start, dur := e.jitterWindow(clientID, e.intervalStart); start >= 0 {
-		t := now - e.intervalStart
-		if t >= start && t < start+dur {
-			return e.prev[area]
-		}
-	}
-	if now < e.clientSwitchFor(clientID, e.intervalStart) {
-		return e.prev[area]
-	}
-	return e.cur[area]
+	return e.view.ClientMultiplier(clientID, area, now)
 }
 
 // clientSwitchFor derives the client's personal switch moment for the
 // interval: 10-130 seconds in, deterministically from (client, interval,
 // seed).
 func (e *Engine) clientSwitchFor(clientID string, boundary int64) int64 {
-	u := e.hash01(clientID, boundary, 0xc11e)
-	return boundary + 10 + int64(u*120)
+	return clientSwitchAt(e.cfg.Seed, clientID, boundary)
 }
 
 // CurrentMultiplier returns the ground-truth multiplier computed for the
@@ -345,41 +321,7 @@ func (e *Engine) PrevMultiplier(area int) float64 {
 // the rest — matching the paper's measured durations). It returns
 // (-1, 0) when the client has no jitter event this interval.
 func (e *Engine) jitterWindow(clientID string, boundary int64) (start, dur int64) {
-	v := e.hashBits(clientID, boundary, 0x71772)
-	u1 := float64(v&0xFFFF) / 65536     // occurrence
-	u2 := float64(v>>16&0xFFFF) / 65536 // start offset
-	u3 := float64(v>>32&0xFFFF) / 65536 // duration
-	if u1 >= e.cfg.JitterProb {
-		return -1, 0
-	}
-	if u3 < 0.9 {
-		dur = 20 + int64(u3/0.9*10) // 20-30 s
-	} else {
-		dur = 30 + int64((u3-0.9)/0.1*30) // 30-60 s
-	}
-	maxStart := int64(UpdatePeriod) - dur
-	start = int64(u2 * float64(maxStart))
-	return start, dur
-}
-
-// hashBits mixes (client, interval, seed, salt) into 64 deterministic
-// pseudo-random bits.
-func (e *Engine) hashBits(clientID string, boundary, salt int64) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(clientID))
-	var buf [24]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(boundary >> (8 * i))
-		buf[8+i] = byte(e.cfg.Seed >> (8 * i))
-		buf[16+i] = byte(salt >> (8 * i))
-	}
-	h.Write(buf[:])
-	return h.Sum64()
-}
-
-// hash01 returns a deterministic uniform value in [0, 1).
-func (e *Engine) hash01(clientID string, boundary, salt int64) float64 {
-	return float64(e.hashBits(clientID, boundary, salt)&0xFFFFFF) / float64(1<<24)
+	return jitterWindowFor(e.cfg.Seed, e.cfg.JitterProb, clientID, boundary)
 }
 
 // Runner couples a world and its engine and advances them together; it is

@@ -1,0 +1,76 @@
+package surge
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A View must answer exactly as the live engine does inside its interval,
+// and keep answering for its own interval after the engine moves on.
+func TestViewMatchesEngineAndStaysFrozen(t *testing.T) {
+	p := sim.SanFrancisco()
+	w := sim.NewWorld(sim.Config{Profile: p, Seed: 9, StartTime: 17 * 3600})
+	e := New(w, Config{Params: p.Surge, Seed: 9, Jitter: true})
+	r := &Runner{World: w, Engine: e}
+	r.RunUntil(18 * 3600)
+
+	v := e.View()
+	start := e.intervalStart
+	for c := 0; c < 8; c++ {
+		id := fmt.Sprintf("probe-%02d", c)
+		for a := 0; a < len(w.Areas()); a++ {
+			for dt := int64(0); dt < UpdatePeriod; dt += 13 {
+				now := start + dt
+				if got, want := v.ClientMultiplier(id, a, now), e.ClientMultiplier(id, a, now); got != want {
+					t.Fatalf("ClientMultiplier(%s, %d, %d) view=%v engine=%v", id, a, now, got, want)
+				}
+				if got, want := v.APIMultiplier(a, now), e.APIMultiplier(a, now); got != want {
+					t.Fatalf("APIMultiplier(%d, %d) view=%v engine=%v", a, now, got, want)
+				}
+				if got, want := v.InJitter(id, now), e.InJitter(id, now); got != want {
+					t.Fatalf("InJitter(%s, %d) view=%v engine=%v", id, now, got, want)
+				}
+			}
+		}
+	}
+
+	// Freeze the old view's answers, advance the engine across several
+	// updates, and check the captured view is unaffected.
+	type key struct {
+		a  int
+		dt int64
+	}
+	frozen := make(map[key]float64)
+	for a := 0; a < len(w.Areas()); a++ {
+		for dt := int64(0); dt < UpdatePeriod; dt += 60 {
+			frozen[key{a, dt}] = v.ClientMultiplier("probe-00", a, start+dt)
+		}
+	}
+	r.RunUntil(w.Now() + 4*UpdatePeriod)
+	if e.View() == v {
+		t.Fatal("engine did not publish a new view across updates")
+	}
+	for k, want := range frozen {
+		if got := v.ClientMultiplier("probe-00", k.a, start+k.dt); got != want {
+			t.Fatalf("frozen view changed: area %d dt %d: %v -> %v", k.a, k.dt, want, got)
+		}
+	}
+}
+
+// Out-of-range areas serve multiplier 1 from a View, as from the engine.
+func TestViewOutOfRangeAreas(t *testing.T) {
+	p := sim.Manhattan()
+	w := sim.NewWorld(sim.Config{Profile: p, Seed: 3})
+	e := New(w, Config{Params: p.Surge, Seed: 3})
+	v := e.View()
+	for _, a := range []int{-1, len(w.Areas()), 99} {
+		if got := v.APIMultiplier(a, w.Now()); got != 1 {
+			t.Errorf("APIMultiplier(%d) = %v, want 1", a, got)
+		}
+		if got := v.ClientMultiplier("x", a, w.Now()); got != 1 {
+			t.Errorf("ClientMultiplier(%d) = %v, want 1", a, got)
+		}
+	}
+}
