@@ -39,6 +39,8 @@ func main() {
 		priceW   = flag.Int("price-weight", 1, "estimates/price share of the request mix")
 		timeW    = flag.Int("time-weight", 1, "estimates/time share of the request mix")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON on stdout (banner goes to stderr)")
+		noRetry  = flag.Bool("no-retry", false, "disable client retries/circuit breaking (report raw fault rates)")
+		failErrs = flag.Bool("fail-on-errors", false, "exit 1 if any client-visible errors remain (chaos-smoke gate)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,7 @@ func main() {
 		PriceWeight: *priceW,
 		TimeWeight:  *timeW,
 		Loc:         loc,
+		NoRetry:     *noRetry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -84,7 +87,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s\n", out)
-		return
+	} else {
+		fmt.Print(report.String())
 	}
-	fmt.Print(report.String())
+	if *failErrs && report.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d client-visible errors (want 0)\n", report.Errors)
+		os.Exit(1)
+	}
 }

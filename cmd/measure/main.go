@@ -69,7 +69,11 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		start := remote.Now()
+		start, err := remote.NowErr()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "backend unreachable: %v\n", err)
+			os.Exit(1)
+		}
 		end := start + int64(*rounds+1)*client.PingPeriod*100 // generous series bound
 		ds := measure.NewDataset(measure.Config{
 			Profile: profile, Start: start, End: end, ClientAreas: clientAreas,
@@ -126,6 +130,10 @@ func main() {
 
 func printSummary(ds *measure.Dataset, camp *client.Campaign) {
 	fmt.Printf("rounds: %d, ping errors: %d\n", camp.Rounds, camp.Errors)
+	if expected := camp.Rounds * int64(len(camp.Clients)); expected > 0 && ds.Gaps > 0 {
+		fmt.Printf("gaps: %d of %d expected observations (%.2f%% loss; paper lost ~2.5%%)\n",
+			ds.Gaps, expected, 100*float64(ds.Gaps)/float64(expected))
+	}
 
 	supply := ds.SupplySeries(core.UberX)
 	fmt.Printf("UberX supply per 5-min interval: mean %.1f\n", seriesMean(supply))

@@ -13,9 +13,16 @@
 // cmd/loadgen at the same address to generate traffic and read back
 // percentiles.
 //
+// Resilience: the API handler sits behind a middleware chain (outermost
+// first) of admission control (-max-inflight, shed with 503 + Retry-After),
+// seeded fault injection (-chaos-*), panic recovery, and a per-request
+// timeout (-request-timeout). /metrics and /debug/pprof stay outside the
+// chain so the server remains observable while it is being tortured.
+//
 // Usage:
 //
 //	uberd -city sf -addr :8080 -speedup 60 -jitter
+//	uberd -city sf -chaos-error 0.1 -chaos-latency 50ms -chaos-latency-prob 0.2 -max-inflight 64
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -44,6 +52,16 @@ func main() {
 		jitter  = flag.Bool("jitter", false, "enable the April 2015 client-stream jitter bug")
 		speedup = flag.Float64("speedup", 60, "simulation seconds per wall-clock second")
 		warmup  = flag.Int64("warmup", 600, "simulation seconds to run before serving")
+
+		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed (same seed replays the same fault sequence)")
+		chaosError    = flag.Float64("chaos-error", 0, "probability of answering a request with an injected 500")
+		chaosReset    = flag.Float64("chaos-reset", 0, "probability of aborting a request's connection")
+		chaosTruncate = flag.Float64("chaos-truncate", 0, "probability of truncating a response body")
+		chaosLatProb  = flag.Float64("chaos-latency-prob", 0, "probability of delaying a request")
+		chaosLatency  = flag.Duration("chaos-latency", 0, "maximum injected delay (actual delay uniform up to this)")
+		maxInflight   = flag.Int("max-inflight", 0, "shed load with 503 above this many in-flight requests (0 = unlimited)")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
+		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request handler timeout (0 = none)")
 	)
 	flag.Parse()
 
@@ -89,8 +107,28 @@ func main() {
 
 	// The API mounts at / with per-endpoint metrics; /metrics serves the
 	// Prometheus exposition and /debug/pprof/* the runtime profiles.
+	// Middleware order (outermost first): shedding rejects before any work
+	// is done, fault injection sees only admitted requests, recovery turns
+	// handler panics into 500s, and the timeout bounds the real handler.
+	var apiHandler http.Handler = api.NewServer(svc, api.WithMetrics(reg), api.WithTracer(tracer))
+	apiHandler = chaos.Timeout(apiHandler, *reqTimeout, reg)
+	apiHandler = chaos.Recover(apiHandler, reg)
+	chaosCfg := chaos.Config{
+		Seed:         *chaosSeed,
+		ErrorProb:    *chaosError,
+		ResetProb:    *chaosReset,
+		TruncateProb: *chaosTruncate,
+		LatencyProb:  *chaosLatProb,
+		Latency:      *chaosLatency,
+	}
+	if chaosCfg.Enabled() {
+		apiHandler = chaos.NewInjector(chaosCfg).Middleware(apiHandler, reg)
+		log.Printf("uberd: chaos enabled (seed %d, error %.3f, reset %.3f, truncate %.3f, latency %.3f up to %s)",
+			*chaosSeed, *chaosError, *chaosReset, *chaosTruncate, *chaosLatProb, *chaosLatency)
+	}
+	apiHandler = chaos.Shed(apiHandler, *maxInflight, *retryAfter, reg)
 	mux := http.NewServeMux()
-	mux.Handle("/", api.NewServer(svc, api.WithMetrics(reg), api.WithTracer(tracer)))
+	mux.Handle("/", apiHandler)
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -150,7 +150,10 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "client_id required"})
 		return
 	}
-	s.svc.Register(body.ClientID)
+	if err := s.svc.Register(body.ClientID); err != nil {
+		writeErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 

@@ -127,10 +127,13 @@ func (s *Service) Instrument(reg *obs.Registry) {
 }
 
 // Register creates an account for clientID; registering twice is a no-op.
-func (s *Service) Register(clientID string) {
+// The error is always nil for the in-process service; it exists so Service
+// satisfies client.Registrar, whose remote implementation can fail.
+func (s *Service) Register(clientID string) error {
 	if s.accounts.register(clientID) {
 		s.mRegistrations.Inc()
 	}
+	return nil
 }
 
 // Accounts returns the number of registered accounts.

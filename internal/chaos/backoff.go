@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is an exponential backoff policy with full jitter (the AWS
+// "full jitter" scheme: sleep uniformly in [0, min(cap, base·2^attempt))),
+// which decorrelates a fleet of retrying clients instead of stampeding
+// them onto the recovering backend in lockstep.
+type Backoff struct {
+	// Base is the first attempt's ceiling (default 50ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 2s).
+	Cap time.Duration
+	// MaxAttempts is the total number of tries including the first
+	// (default 5). 1 disables retries.
+	MaxAttempts int
+}
+
+// withDefaults fills zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 2 * time.Second
+	}
+	if b.MaxAttempts <= 0 {
+		b.MaxAttempts = 5
+	}
+	return b
+}
+
+// Delay draws the sleep before retry number attempt (0-based: attempt 0 is
+// the delay after the first failure). rng may be nil (the shared
+// math/rand source is used).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	ceil := b.Base << uint(attempt)
+	if ceil > b.Cap || ceil <= 0 { // <=0 guards shift overflow
+		ceil = b.Cap
+	}
+	var f float64
+	if rng != nil {
+		f = rng.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	return time.Duration(f * float64(ceil))
+}

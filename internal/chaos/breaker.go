@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) by callers whose breaker is
+// rejecting requests without trying the backend.
+var ErrCircuitOpen = errors.New("chaos: circuit open")
+
+// BreakerState enumerates the classic three circuit states.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through and counts failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between reopening and closing.
+	BreakerHalfOpen
+)
+
+// String names the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open the circuit
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before allowing a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+	// Clock overrides time.Now in tests.
+	Clock func() time.Time
+	// OnStateChange, when set, observes every transition (called with the
+	// breaker's lock held — keep it cheap, e.g. an obs counter bump).
+	OnStateChange func(from, to BreakerState)
+}
+
+// Breaker is a consecutive-failure circuit breaker with half-open
+// probing: after Threshold consecutive failures it fails fast for
+// Cooldown, then admits a single probe; a successful probe closes the
+// circuit, a failed one reopens it for another full cooldown.
+//
+// The campaign client keeps one Breaker per endpoint, so a backend whose
+// pingClient path is down doesn't drag the estimates endpoints (and their
+// rate-limit budget) down with it.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker; zero-valued config fields get defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// setState transitions the state under the caller-held lock, notifying the
+// hook on real changes.
+func (b *Breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
+// Allow reports whether a request may proceed. A nil breaker always
+// allows. When it returns false the caller should fail fast with
+// ErrCircuitOpen; when it returns true the caller must follow up with
+// Report so half-open probes resolve.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report records the outcome of an allowed request.
+func (b *Breaker) Report(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.setState(BreakerClosed)
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// Failed probe: back to a full cooldown.
+		b.setState(BreakerOpen)
+		b.openedAt = b.cfg.Clock()
+		b.probing = false
+	default:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.setState(BreakerOpen)
+			b.openedAt = b.cfg.Clock()
+		}
+	}
+}
+
+// State returns the current state (resolving an elapsed cooldown to
+// half-open is Allow's job; State reports the stored value).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

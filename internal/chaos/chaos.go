@@ -1,0 +1,138 @@
+// Package chaos is the repo's fault-injection and resilience toolkit.
+//
+// The paper's four-week campaign ran against a backend the authors did not
+// control: pings were lost, the per-client jitter bug served stale
+// multipliers, and rate limits locked accounts out (§3.3, §5). This package
+// makes those failure modes reproducible on demand — a deterministic,
+// seedable Injector that a server mounts as HTTP middleware to inject
+// latency, 5xx errors, connection resets, and truncated bodies — and
+// provides the standard defenses both sides of the wire use to survive
+// them: panic recovery, per-request timeouts, admission control (load
+// shedding with Retry-After), exponential backoff with full jitter, and a
+// circuit breaker with half-open probing.
+//
+// Determinism: every fault decision is derived by hashing the injector
+// seed with a per-request sequence number (splitmix64), so a run against
+// the same seed replays the same fault sequence — concurrency may reorder
+// which request draws which sequence number, but the multiset of injected
+// faults is identical, which is what makes chaos runs comparable across
+// PRs.
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Fault enumerates the injectable request outcomes.
+type Fault int
+
+const (
+	// FaultNone leaves the request alone (latency may still be injected).
+	FaultNone Fault = iota
+	// FaultError answers 500 without invoking the handler.
+	FaultError
+	// FaultReset aborts the connection mid-request (the client sees a
+	// reset/EOF, like the paper's lost pings).
+	FaultReset
+	// FaultTruncate serves the real response but cuts the body short, so
+	// the client's JSON decode fails partway.
+	FaultTruncate
+)
+
+// String names the fault for metric labels.
+func (f Fault) String() string {
+	switch f {
+	case FaultError:
+		return "error"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	default:
+		return "none"
+	}
+}
+
+// Config parameterizes an Injector. Probabilities are per-request and
+// independent of one another except that at most one of Error/Reset/
+// Truncate fires (they partition a single uniform draw, in that order).
+type Config struct {
+	// Seed fixes the fault sequence; two injectors with the same seed and
+	// config produce the same decision stream.
+	Seed int64
+	// ErrorProb is the probability of answering 500.
+	ErrorProb float64
+	// ResetProb is the probability of aborting the connection.
+	ResetProb float64
+	// TruncateProb is the probability of truncating the response body.
+	TruncateProb float64
+	// LatencyProb is the probability of delaying the request.
+	LatencyProb float64
+	// Latency is the maximum injected delay; the actual delay is uniform
+	// in (0, Latency].
+	Latency time.Duration
+}
+
+// Enabled reports whether the config injects anything at all.
+func (c Config) Enabled() bool {
+	return c.ErrorProb > 0 || c.ResetProb > 0 || c.TruncateProb > 0 ||
+		(c.LatencyProb > 0 && c.Latency > 0)
+}
+
+// Decision is one request's injected behavior.
+type Decision struct {
+	Fault Fault
+	Delay time.Duration
+}
+
+// Injector hands out deterministic per-request fault decisions. A nil
+// *Injector never injects, so callers can wire it unconditionally.
+type Injector struct {
+	cfg Config
+	seq atomic.Uint64
+}
+
+// NewInjector builds an injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg}
+}
+
+// splitmix64 is the standard 64-bit finalizer; one application per stream
+// position gives independent, well-distributed draws.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a hash to a uniform float64 in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Decide draws the next decision in the seeded stream.
+func (i *Injector) Decide() Decision {
+	if i == nil {
+		return Decision{}
+	}
+	seq := i.seq.Add(1)
+	base := uint64(i.cfg.Seed)*0x9e3779b97f4a7c15 + seq
+	var d Decision
+	u := unit(splitmix64(base))
+	switch {
+	case u < i.cfg.ErrorProb:
+		d.Fault = FaultError
+	case u < i.cfg.ErrorProb+i.cfg.ResetProb:
+		d.Fault = FaultReset
+	case u < i.cfg.ErrorProb+i.cfg.ResetProb+i.cfg.TruncateProb:
+		d.Fault = FaultTruncate
+	}
+	if i.cfg.Latency > 0 && unit(splitmix64(base^0xd1b54a32d192ed03)) < i.cfg.LatencyProb {
+		frac := unit(splitmix64(base ^ 0x8cb92ba72f3d8dd7))
+		d.Delay = time.Duration(frac * float64(i.cfg.Latency))
+		if d.Delay <= 0 {
+			d.Delay = time.Nanosecond
+		}
+	}
+	return d
+}

@@ -1,0 +1,452 @@
+package chaos
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 99, ErrorProb: 0.1, ResetProb: 0.05, TruncateProb: 0.05,
+		LatencyProb: 0.3, Latency: 20 * time.Millisecond,
+	}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for i := 0; i < 10000; i++ {
+		da, db := a.Decide(), b.Decide()
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	// A different seed produces a different stream.
+	other := NewInjector(Config{Seed: 100, ErrorProb: 0.1, ResetProb: 0.05,
+		TruncateProb: 0.05, LatencyProb: 0.3, Latency: 20 * time.Millisecond})
+	same := 0
+	c := NewInjector(cfg)
+	for i := 0; i < 1000; i++ {
+		if c.Decide() == other.Decide() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+func TestInjectorFaultRates(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorProb: 0.2, ResetProb: 0.1, TruncateProb: 0.1}
+	inj := NewInjector(cfg)
+	const n = 100000
+	var counts [4]int
+	for i := 0; i < n; i++ {
+		counts[inj.Decide().Fault]++
+	}
+	check := func(f Fault, want float64) {
+		got := float64(counts[f]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s rate = %.3f, want %.3f ± 0.01", f, got, want)
+		}
+	}
+	check(FaultError, 0.2)
+	check(FaultReset, 0.1)
+	check(FaultTruncate, 0.1)
+	check(FaultNone, 0.6)
+}
+
+func TestInjectorNilAndDisabled(t *testing.T) {
+	var nilInj *Injector
+	if d := nilInj.Decide(); d.Fault != FaultNone || d.Delay != 0 {
+		t.Errorf("nil injector decided %+v", d)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(Config{ErrorProb: 0.1}).Enabled() {
+		t.Error("error config reports disabled")
+	}
+	// Latency needs both a probability and a duration.
+	if (Config{LatencyProb: 0.5}).Enabled() {
+		t.Error("latency prob without duration reports enabled")
+	}
+	h := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+	if got := nilInj.Middleware(h, obs.NewRegistry()); got == nil {
+		t.Error("nil injector middleware returned nil handler")
+	}
+}
+
+func TestInjectorLatencyBounded(t *testing.T) {
+	maxDelay := 30 * time.Millisecond
+	inj := NewInjector(Config{Seed: 3, LatencyProb: 1, Latency: maxDelay})
+	sawDelay := false
+	for i := 0; i < 1000; i++ {
+		d := inj.Decide()
+		if d.Delay <= 0 || d.Delay > maxDelay {
+			t.Fatalf("delay %v outside (0, %v]", d.Delay, maxDelay)
+		}
+		if d.Delay > 0 {
+			sawDelay = true
+		}
+	}
+	if !sawDelay {
+		t.Error("LatencyProb=1 injected no delays")
+	}
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","payload":"0123456789abcdef"}`)
+	})
+}
+
+func TestMiddlewareInjectsErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := NewInjector(Config{Seed: 1, ErrorProb: 1})
+	ts := httptest.NewServer(inj.Middleware(okHandler(), reg))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "chaos") {
+		t.Errorf("body %q does not identify the injected fault", body)
+	}
+	if n := reg.Counter("chaos_faults_total", obs.L("kind", "error")).Value(); n != 1 {
+		t.Errorf("chaos_faults_total{kind=error} = %d, want 1", n)
+	}
+}
+
+func TestMiddlewareInjectsResets(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := NewInjector(Config{Seed: 1, ResetProb: 1})
+	ts := httptest.NewServer(inj.Middleware(okHandler(), reg))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("expected a transport error from the aborted connection")
+	}
+	if n := reg.Counter("chaos_faults_total", obs.L("kind", "reset")).Value(); n != 1 {
+		t.Errorf("chaos_faults_total{kind=reset} = %d, want 1", n)
+	}
+}
+
+func TestMiddlewareTruncatesBodies(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := NewInjector(Config{Seed: 1, TruncateProb: 1})
+	ts := httptest.NewServer(inj.Middleware(okHandler(), reg))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200 (truncation cuts the body, not the status)", resp.StatusCode)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Errorf("read completed cleanly; want an unexpected EOF (got %d bytes)", len(body))
+	}
+	full := len(`{"status":"ok","payload":"0123456789abcdef"}`)
+	if len(body) >= full {
+		t.Errorf("got %d bytes, want fewer than the full %d", len(body), full)
+	}
+	if n := reg.Counter("chaos_faults_total", obs.L("kind", "truncate")).Value(); n != 1 {
+		t.Errorf("chaos_faults_total{kind=truncate} = %d, want 1", n)
+	}
+}
+
+func TestRecoverTurnsPanicsInto500s(t *testing.T) {
+	reg := obs.NewRegistry()
+	boom := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	ts := httptest.NewServer(Recover(boom, reg))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if n := reg.Counter("server_panics_total").Value(); n != 1 {
+		t.Errorf("server_panics_total = %d, want 1", n)
+	}
+	// The server survived: a second request still works.
+	resp2, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatalf("server died after recovered panic: %v", err)
+	}
+	resp2.Body.Close()
+}
+
+func TestRecoverReRaisesAbortHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	abort := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(Recover(abort, reg))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("ErrAbortHandler should abort the connection, not answer")
+	}
+	if n := reg.Counter("server_panics_total").Value(); n != 0 {
+		t.Errorf("server_panics_total = %d, want 0 (aborts are not panics)", n)
+	}
+}
+
+func TestShedRejectsAboveLimit(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	ts := httptest.NewServer(Shed(slow, 1, 3*time.Second, reg))
+	defer ts.Close()
+	defer close(release)
+
+	// Occupy the single slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	// The second concurrent request is shed.
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	if n := reg.Counter("server_shed_total").Value(); n != 1 {
+		t.Errorf("server_shed_total = %d, want 1", n)
+	}
+	release <- struct{}{}
+	wg.Wait()
+}
+
+func TestShedDisabled(t *testing.T) {
+	h := http.NewServeMux() // comparable handler type
+	if got := Shed(h, 0, time.Second, obs.NewRegistry()); got != http.Handler(h) {
+		t.Error("maxInFlight=0 should return the handler unchanged")
+	}
+}
+
+func TestTimeoutCutsSlowHandlers(t *testing.T) {
+	reg := obs.NewRegistry()
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	ts := httptest.NewServer(Timeout(slow, 50*time.Millisecond, reg))
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "timed out") {
+		t.Errorf("body %q does not mention the timeout", body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("request took %v; timeout did not cut it short", elapsed)
+	}
+	if n := reg.Counter("server_timeouts_total").Value(); n != 1 {
+		t.Errorf("server_timeouts_total = %d, want 1", n)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		Threshold: 3,
+		Cooldown:  time.Second,
+		Clock:     clock,
+		OnStateChange: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+
+	// Closed: failures below threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Report(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after 2 failures, want closed", b.State())
+	}
+
+	// Third consecutive failure opens the circuit.
+	b.Allow()
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe: reopen for a full cooldown.
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+
+	// Second probe succeeds: circuit closes and stays closed.
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit the second probe")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+	b.Report(true)
+
+	want := []string{
+		"closed->open", "open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3})
+	for round := 0; round < 5; round++ {
+		b.Allow()
+		b.Report(false)
+		b.Allow()
+		b.Report(false)
+		b.Allow()
+		b.Report(true) // a success between failures resets the streak
+	}
+	if b.State() != BreakerClosed {
+		t.Errorf("state = %v, want closed (failures never consecutive)", b.State())
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Error("nil breaker rejected a request")
+	}
+	b.Report(false) // must not panic
+	if b.State() != BreakerClosed {
+		t.Error("nil breaker state not closed")
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	rng := rand.New(rand.NewSource(5))
+	for attempt := 0; attempt < 12; attempt++ {
+		ceil := b.Base << uint(attempt)
+		if ceil > b.Cap || ceil <= 0 {
+			ceil = b.Cap
+		}
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt, rng)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+	// Huge attempt numbers must not overflow the shift into a negative ceiling.
+	if d := b.Delay(200, rng); d < 0 || d >= b.Cap {
+		t.Errorf("attempt 200: delay %v outside [0, %v)", d, b.Cap)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	d := Backoff{}.withDefaults()
+	if d.Base != 50*time.Millisecond || d.Cap != 2*time.Second || d.MaxAttempts != 5 {
+		t.Errorf("defaults = %+v", d)
+	}
+	if got := (Backoff{}).Delay(0, rand.New(rand.NewSource(1))); got < 0 || got >= 50*time.Millisecond {
+		t.Errorf("default first delay %v outside [0, 50ms)", got)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	cases := map[Fault]string{
+		FaultNone: "none", FaultError: "error", FaultReset: "reset", FaultTruncate: "truncate",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}

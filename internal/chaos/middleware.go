@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Middleware wraps next with fault injection driven by the injector's
+// seeded decision stream. Injected faults are counted in reg as
+// chaos_faults_total{kind="error"|"reset"|"truncate"} and injected delays
+// as chaos_delays_total plus the chaos_injected_delay_seconds histogram.
+// A nil injector returns next unchanged.
+func (i *Injector) Middleware(next http.Handler, reg *obs.Registry) http.Handler {
+	if i == nil || !i.cfg.Enabled() {
+		return next
+	}
+	faults := [4]*obs.Counter{
+		FaultError:    reg.Counter("chaos_faults_total", obs.L("kind", "error")),
+		FaultReset:    reg.Counter("chaos_faults_total", obs.L("kind", "reset")),
+		FaultTruncate: reg.Counter("chaos_faults_total", obs.L("kind", "truncate")),
+	}
+	delays := reg.Counter("chaos_delays_total")
+	delayHist := reg.Histogram("chaos_injected_delay_seconds", obs.DefLatencyBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := i.Decide()
+		if d.Delay > 0 {
+			delays.Inc()
+			delayHist.ObserveDuration(d.Delay)
+			time.Sleep(d.Delay)
+		}
+		switch d.Fault {
+		case FaultError:
+			faults[FaultError].Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error":"chaos: injected server error"}`)
+		case FaultReset:
+			faults[FaultReset].Inc()
+			// net/http treats ErrAbortHandler as "drop the connection
+			// without replying": the client observes a reset/EOF.
+			panic(http.ErrAbortHandler)
+		case FaultTruncate:
+			faults[FaultTruncate].Inc()
+			i.truncate(w, r, next)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// truncate runs the real handler against a buffer, replays the status and
+// headers with the full Content-Length, writes only half the body, and
+// aborts the connection — the client sees a well-formed response cut off
+// mid-body (unexpected EOF on decode).
+func (i *Injector) truncate(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := &bufferedResponse{status: http.StatusOK, header: make(http.Header)}
+	next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		w.Header()[k] = vs
+	}
+	body := rec.body.Bytes()
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.status)
+	if len(body) > 1 {
+		_, _ = w.Write(body[:len(body)/2])
+	}
+	// Flush so the half body actually reaches the wire; the abort below
+	// would otherwise discard the buffered bytes along with the connection
+	// and the client would see a bare EOF instead of a truncated response.
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// bufferedResponse captures a handler's full response for truncation.
+type bufferedResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (b *bufferedResponse) Header() http.Header         { return b.header }
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+func (b *bufferedResponse) WriteHeader(code int)        { b.status = code }
+
+// Recover wraps next so a panicking handler answers 500 instead of killing
+// the connection (and, unrecovered, the whole server loop in handlers that
+// spawn goroutines). Panics are counted as server_panics_total.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// connection (the fault injector and net/http itself both use it).
+func Recover(next http.Handler, reg *obs.Registry) http.Handler {
+	panics := reg.Counter("server_panics_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && err == http.ErrAbortHandler {
+				panic(rec)
+			}
+			panics.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error":"internal server error"}`)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Shed applies admission control: when more than maxInFlight requests are
+// already being served, new arrivals are rejected immediately with
+// 503 + Retry-After instead of queueing until the whole server tips over.
+// Shed requests are counted as server_shed_total; the current in-flight
+// count is exported as the server_inflight_requests gauge.
+func Shed(next http.Handler, maxInFlight int, retryAfter time.Duration, reg *obs.Registry) http.Handler {
+	if maxInFlight <= 0 {
+		return next
+	}
+	shed := reg.Counter("server_shed_total")
+	gauge := reg.Gauge("server_inflight_requests")
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	retryVal := strconv.Itoa(secs)
+	var inflight atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := inflight.Add(1)
+		defer func() {
+			gauge.Set(float64(inflight.Add(-1)))
+		}()
+		gauge.Set(float64(n))
+		if n > int64(maxInFlight) {
+			shed.Inc()
+			w.Header().Set("Retry-After", retryVal)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"overloaded, retry later"}`)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Timeout bounds each request's handler time at d; requests that exceed it
+// answer 503 (counted as server_timeouts_total via the handler body write).
+// It is http.TimeoutHandler with a JSON body, kept here so the daemon
+// assembles its whole middleware chain from one package.
+func Timeout(next http.Handler, d time.Duration, reg *obs.Registry) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	timeouts := reg.Counter("server_timeouts_total")
+	// http.TimeoutHandler doesn't expose its timeout path, so count from
+	// the inside: a handler whose request context is already dead when it
+	// returns was cut off (timeout, or a client that gave up — both are
+	// lost work worth counting).
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		if err := r.Context().Err(); err != nil {
+			timeouts.Inc()
+		}
+	})
+	return http.TimeoutHandler(inner, d, `{"error":"request timed out"}`)
+}

@@ -26,7 +26,9 @@ func CheckDeterminism(b Stepper, svc core.Service, reg Registrar, loc geo.LatLng
 	ids := make([]string, nClients)
 	for i := range ids {
 		ids[i] = clientName("det", i)
-		reg.Register(ids[i])
+		if err := reg.Register(ids[i]); err != nil {
+			return false, err
+		}
 	}
 	end := b.Now() + duration
 	for b.Now() < end {
@@ -93,7 +95,9 @@ func MeasureVisibilityRadius(b Stepper, svc core.Service, reg Registrar, proj *g
 	pos := [4]geo.Point{}
 	for i := range ids {
 		ids[i] = clientName("walk", i)
-		reg.Register(ids[i])
+		if err := reg.Register(ids[i]); err != nil {
+			return CalibrationResult{}, err
+		}
 		pos[i] = start
 	}
 

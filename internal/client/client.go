@@ -35,6 +35,16 @@ type Sink interface {
 	EndRound(now int64)
 }
 
+// GapSink is an optional extension of Sink: sinks that implement it are
+// told about every ping that failed, so missing observations are recorded
+// explicitly instead of silently skewing aggregates (the paper lost ~2.5%
+// of its pings and had to account for them the same way). lastSeen is the
+// most recent round timestamp the campaign observed (0 before the first
+// successful ping).
+type GapSink interface {
+	ObserveGap(clientIdx int, pos geo.Point, lastSeen int64, err error)
+}
+
 // GridLayout places n clients on a square grid with the given spacing,
 // centered on rect and covering it row-major from the south-west. This is
 // the §3.4 deployment: spacing is derived from the calibrated visibility
@@ -64,9 +74,11 @@ func GridLayout(rect geo.Rect, spacing float64, n int) []geo.Point {
 }
 
 // Registrar is the account-creation surface of a backend; *api.Service and
-// *api.Remote both provide it.
+// *api.Remote both provide it. Registration against a remote backend can
+// fail (transport errors, shed load), so Register returns an error; the
+// in-process implementations always return nil.
 type Registrar interface {
-	Register(clientID string)
+	Register(clientID string) error
 }
 
 // Campaign drives a fleet of clients against a service, delivering every
@@ -79,8 +91,14 @@ type Campaign struct {
 	// Rounds counts completed ping rounds.
 	Rounds int64
 	// Errors counts failed pings (out-of-service locations, transient
-	// transport failures against a remote backend).
+	// transport failures against a remote backend). Every error is also a
+	// gap: the observation the failed ping would have produced is missing
+	// from the record, and GapSinks are told about it.
 	Errors int64
+
+	// lastNow is the most recent response timestamp, handed to GapSinks
+	// so gaps carry an approximate time.
+	lastNow int64
 }
 
 // NewCampaign builds a campaign with clients at the given plane positions.
@@ -98,28 +116,42 @@ func NewCampaign(svc core.Service, proj *geo.Projection, positions []geo.Point) 
 	return c
 }
 
-// RegisterAll creates the campaign's accounts on the backend.
-func (c *Campaign) RegisterAll(r Registrar) {
+// RegisterAll creates the campaign's accounts on the backend. It attempts
+// every client even after a failure and returns the first error, so a
+// transient failure mid-fleet doesn't leave the tail unregistered.
+func (c *Campaign) RegisterAll(r Registrar) error {
+	var firstErr error
 	for _, cl := range c.Clients {
-		r.Register(cl.ID)
+		if err := r.Register(cl.ID); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
 // AddSink attaches a measurement sink.
 func (c *Campaign) AddSink(s Sink) { c.Sinks = append(c.Sinks, s) }
 
 // Round performs one ping round: every client pings once and the
-// responses are fanned out to the sinks.
+// responses are fanned out to the sinks. Failed pings are reported to
+// GapSinks so the round's record shows an explicit hole where the
+// observation should have been.
 func (c *Campaign) Round() {
-	var now int64
+	now := c.lastNow
 	for i := range c.Clients {
 		cl := &c.Clients[i]
 		resp, err := c.Service.PingClient(cl.ID, cl.Loc)
 		if err != nil {
 			c.Errors++
+			for _, s := range c.Sinks {
+				if gs, ok := s.(GapSink); ok {
+					gs.ObserveGap(i, cl.Pos, c.lastNow, err)
+				}
+			}
 			continue
 		}
 		now = resp.Time
+		c.lastNow = now
 		for _, s := range c.Sinks {
 			s.Observe(i, cl.Pos, resp)
 		}

@@ -211,7 +211,9 @@ func RunCity(profile *sim.CityProfile, opts Options) *CityRun {
 	}
 
 	if !opts.SkipProber {
-		run.Prober = surgemap.NewProber(svc, svc, proj, profile.MeasureRect, proberSpacing(profile))
+		// In-process registration cannot fail; the error path exists for
+		// remote probers.
+		run.Prober, _ = surgemap.NewProber(svc, svc, proj, profile.MeasureRect, proberSpacing(profile))
 	}
 
 	var advisors []*strategy.Advisor

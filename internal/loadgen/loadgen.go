@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/chaos"
 	"repro/internal/geo"
 	"repro/internal/obs"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	Registry *obs.Registry
 	// HTTPClient overrides the transport (httptest servers pass theirs).
 	HTTPClient *http.Client
+	// NoRetry disables the client's retry/backoff and circuit breaker:
+	// every request is a single attempt, so the report shows raw fault
+	// rates instead of what the resilience layer absorbs.
+	NoRetry bool
 }
 
 func (c *Config) defaults() {
@@ -79,8 +84,15 @@ type Report struct {
 	Requests    int64                    `json:"requests"`
 	Errors      int64                    `json:"errors"`
 	RateLimited int64                    `json:"rate_limited"`
-	RPS         float64                  `json:"req_per_sec"`
-	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	// Retries counts attempts beyond each request's first; GiveUps the
+	// requests that failed after every attempt; BreakerOpens circuit
+	// transitions into open. Nonzero retries with zero errors means the
+	// resilience layer absorbed every injected fault.
+	Retries      int64                    `json:"retries"`
+	GiveUps      int64                    `json:"give_ups"`
+	BreakerOpens int64                    `json:"breaker_opens"`
+	RPS          float64                  `json:"req_per_sec"`
+	Endpoints    map[string]EndpointStats `json:"endpoints"`
 }
 
 // JSON renders the report as one machine-readable JSON object, the format
@@ -92,8 +104,9 @@ func (r *Report) JSON() ([]byte, error) {
 // String renders the report as the table cmd/loadgen prints.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgen: %d requests in %.2fs (%.1f req/s), %d errors, %d rate-limited\n",
-		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors, r.RateLimited)
+	fmt.Fprintf(&b, "loadgen: %d requests in %.2fs (%.1f req/s), %d errors, %d rate-limited, %d retries (%d give-ups, %d breaker-opens)\n",
+		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors, r.RateLimited,
+		r.Retries, r.GiveUps, r.BreakerOpens)
 	names := make([]string, 0, len(r.Endpoints))
 	for name := range r.Endpoints {
 		names = append(names, name)
@@ -131,7 +144,36 @@ var endpointNames = [3]string{"/pingClient", "/estimates/price", "/estimates/tim
 // percentiles computed from the run's obs histograms.
 func Run(cfg Config) (*Report, error) {
 	cfg.defaults()
-	remote := api.NewRemote(cfg.BaseURL, cfg.HTTPClient)
+	ropts := []api.RemoteOption{
+		api.WithRegistry(cfg.Registry),
+		// The generator's job is to keep load flowing through injected
+		// faults, so it retries harder than the default client policy: at
+		// the chaos-smoke fault rates (~12% per attempt) 8 attempts put
+		// the per-request give-up probability below 1e-7, which is what
+		// lets the smoke demand exactly zero client-visible errors.
+		api.WithBackoff(chaos.Backoff{
+			Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond, MaxAttempts: 8,
+		}),
+	}
+	if cfg.NoRetry {
+		ropts = append(ropts, api.WithoutRetry(), api.WithoutBreaker())
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		// The stdlib default transport keeps only 2 idle connections per
+		// host; a closed-loop fleet larger than that reconnects on nearly
+		// every request and the 40ms delayed-ACK penalty on fresh
+		// connections caps the generator far below the backend's capacity.
+		// Pool one connection per client.
+		hc = &http.Client{
+			Timeout: api.DefaultTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Clients + 8,
+				MaxIdleConnsPerHost: cfg.Clients + 8,
+			},
+		}
+	}
+	remote := api.NewRemote(cfg.BaseURL, hc, ropts...)
 	ids := make([]string, cfg.Clients)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("loadgen-%d", i)
@@ -234,6 +276,11 @@ func Run(cfg Config) (*Report, error) {
 		rep.Errors += es.Errors
 		rep.RateLimited += es.RateLimited
 	}
+	// Resilience counters come straight from the shared registry (handle
+	// lookup is idempotent, so this reads what the Remote recorded).
+	rep.Retries = cfg.Registry.Counter("client_retries_total").Value()
+	rep.GiveUps = cfg.Registry.Counter("client_giveups_total").Value()
+	rep.BreakerOpens = cfg.Registry.Counter("client_breaker_opens_total").Value()
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.RPS = float64(rep.Requests) / secs
 	}

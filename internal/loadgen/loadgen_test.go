@@ -2,12 +2,14 @@ package loadgen
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -142,5 +144,98 @@ func TestRunBadBaseURL(t *testing.T) {
 	_, err := Run(Config{BaseURL: "http://127.0.0.1:1", Duration: 50 * time.Millisecond})
 	if err == nil {
 		t.Fatal("expected registration error against dead backend")
+	}
+}
+
+// TestRunAbsorbsChaos is the in-process version of the CI chaos smoke: the
+// backend is wrapped in the full uberd middleware chain with fault
+// injection enabled, and the resilient client must absorb every injected
+// fault — zero client-visible errors, nonzero retries. Run under -race
+// this doubles as the concurrency stress test for the chaos middleware,
+// the retry loop, and the per-endpoint breakers.
+func TestRunAbsorbsChaos(t *testing.T) {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 13, false)
+	svc.RunUntil(600)
+	reg := obs.NewRegistry()
+	svc.Instrument(reg)
+
+	inj := chaos.NewInjector(chaos.Config{
+		Seed:         1,
+		ErrorProb:    0.05,
+		ResetProb:    0.03,
+		TruncateProb: 0.03,
+		LatencyProb:  0.2,
+		Latency:      2 * time.Millisecond,
+	})
+	var h http.Handler = api.NewServer(svc, api.WithMetrics(reg))
+	h = chaos.Timeout(h, 2*time.Second, reg)
+	h = chaos.Recover(h, reg)
+	h = inj.Middleware(h, reg)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	report, err := Run(Config{
+		BaseURL:    ts.URL,
+		Clients:    8,
+		Duration:   400 * time.Millisecond,
+		Loc:        profile.Origin,
+		Registry:   reg,
+		HTTPClient: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	faults := reg.Counter("chaos_faults_total", obs.L("kind", "error")).Value() +
+		reg.Counter("chaos_faults_total", obs.L("kind", "reset")).Value() +
+		reg.Counter("chaos_faults_total", obs.L("kind", "truncate")).Value()
+	if faults == 0 {
+		t.Fatal("chaos injected no faults; the test exercised nothing")
+	}
+	if report.Errors != 0 {
+		t.Errorf("client-visible errors = %d, want 0 (resilience layer must absorb all %d faults)",
+			report.Errors, faults)
+	}
+	if report.Retries == 0 {
+		t.Error("retries = 0; faults were injected but nothing retried")
+	}
+	t.Logf("absorbed %d injected faults across %d requests with %d retries (%d give-ups)",
+		faults, report.Requests, report.Retries, report.GiveUps)
+}
+
+// TestRunNoRetryExposesFaults checks the -no-retry escape hatch: with the
+// resilience layer off, injected faults surface as client-visible errors.
+func TestRunNoRetryExposesFaults(t *testing.T) {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 13, false)
+	svc.RunUntil(600)
+	reg := obs.NewRegistry()
+
+	inj := chaos.NewInjector(chaos.Config{Seed: 2, ErrorProb: 0.3})
+	var h http.Handler = api.NewServer(svc)
+	h = inj.Middleware(h, reg)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	report, err := Run(Config{
+		BaseURL:    ts.URL,
+		Clients:    4,
+		Duration:   200 * time.Millisecond,
+		Loc:        profile.Origin,
+		Registry:   reg,
+		HTTPClient: ts.Client(),
+		NoRetry:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors == 0 {
+		t.Error("no-retry run absorbed injected 500s; want raw fault visibility")
+	}
+	if report.Retries != 0 {
+		t.Errorf("retries = %d with NoRetry set, want 0", report.Retries)
 	}
 }

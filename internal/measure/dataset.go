@@ -55,6 +55,12 @@ type carState struct {
 	// interval indices at which this car was already counted.
 	countedInterval     int
 	areaCountedInterval [8]int // per area (supports up to 8 areas)
+	// observers are the clients that saw the car in the most recent round
+	// it was seen, and obsTime that round's timestamp. When the car goes
+	// missing while one of its observers has a gap (failed ping), the miss
+	// is not evidence of a death — the watcher was blind, not the car gone.
+	observers []int32
+	obsTime   int64
 }
 
 // lifeRecord tracks a car ID's total observed lifespan across trips.
@@ -128,6 +134,14 @@ type Dataset struct {
 	lifespans map[core.VehicleType][]float64
 	// ShortLived counts cars filtered by the §4.1 cleaning rule.
 	ShortLived int
+
+	// Gaps counts failed pings reported by the campaign (the paper lost
+	// ~2.5% of its observations the same way); ClientGaps breaks the count
+	// down per client. gapped marks which clients gapped in the current
+	// round so death detection can discount blind watchers.
+	Gaps       int64
+	ClientGaps []int64
+	gapped     map[int32]bool
 }
 
 // TrackedTypes are the products with full supply/demand series (the four
@@ -161,6 +175,8 @@ func NewDataset(cfg Config, nClients int) *Dataset {
 		curSurge:   make([]float64, nClients),
 		Changes:    make([][]SurgeChange, nClients),
 		lifespans:  make(map[core.VehicleType][]float64),
+		ClientGaps: make([]int64, nClients),
+		gapped:     make(map[int32]bool),
 	}
 	tracked := cfg.TrackTypes
 	if tracked == nil {
@@ -211,7 +227,7 @@ func (d *Dataset) Observe(clientIdx int, pos geo.Point, resp *core.PingResponse)
 		ts := &resp.Types[ti]
 		// Car bookkeeping for every product; series only for tracked ones.
 		for ci := range ts.Cars {
-			d.observeCar(ts.Type, &ts.Cars[ci], now, iv)
+			d.observeCar(ts.Type, &ts.Cars[ci], clientIdx, now, iv)
 		}
 		if ts.Type != core.UberX {
 			continue
@@ -263,7 +279,7 @@ func (d *Dataset) clientArea(clientIdx int) int {
 }
 
 // observeCar updates per-car tracking state and the supply series.
-func (d *Dataset) observeCar(vt core.VehicleType, car *core.CarView, now int64, iv int) {
+func (d *Dataset) observeCar(vt core.VehicleType, car *core.CarView, clientIdx int, now int64, iv int) {
 	d.seenRound[car.ID] = true
 	cs, ok := d.cars[car.ID]
 	if !ok {
@@ -273,6 +289,11 @@ func (d *Dataset) observeCar(vt core.VehicleType, car *core.CarView, now int64, 
 		}
 		d.cars[car.ID] = cs
 	}
+	if cs.obsTime != now {
+		cs.observers = cs.observers[:0]
+		cs.obsTime = now
+	}
+	cs.observers = append(cs.observers, int32(clientIdx))
 	cs.lastSeen = now
 	cs.missed = 0
 	// Positions arrive as lat/lng; project once per observation.
@@ -309,11 +330,44 @@ func (d *Dataset) proj(ll geo.LatLng) geo.Point {
 	return d.projection.ToPlane(ll)
 }
 
+// ObserveGap implements client.GapSink: a failed ping is an explicit hole
+// in the record. The gap is counted, and the client is marked blind for
+// this round so cars only it was watching aren't mistaken for deaths.
+func (d *Dataset) ObserveGap(clientIdx int, pos geo.Point, lastSeen int64, err error) {
+	d.Gaps++
+	if clientIdx >= 0 && clientIdx < len(d.ClientGaps) {
+		d.ClientGaps[clientIdx]++
+	}
+	d.gapped[int32(clientIdx)] = true
+}
+
+// blindMiss reports whether a car's disappearance this round is explained
+// by a gap: some client that saw it last round failed to ping this round,
+// so the car may well still be there, unobserved.
+func (d *Dataset) blindMiss(cs *carState) bool {
+	if len(d.gapped) == 0 {
+		return false
+	}
+	for _, c := range cs.observers {
+		if d.gapped[c] {
+			return true
+		}
+	}
+	return false
+}
+
 // EndRound implements client.Sink: detects deaths (cars missing for
 // deathGraceRounds consecutive rounds) and applies the edge filter.
+// Rounds in which a car's observers gapped don't advance its missed
+// count — without this, transport failures against a remote backend read
+// as bursts of phantom demand (the skew the paper's §3.3 accounting
+// avoids).
 func (d *Dataset) EndRound(now int64) {
 	for id, cs := range d.cars {
 		if d.seenRound[id] {
+			continue
+		}
+		if d.blindMiss(cs) {
 			continue
 		}
 		cs.missed++
@@ -339,6 +393,7 @@ func (d *Dataset) EndRound(now int64) {
 		}
 	}
 	clear(d.seenRound)
+	clear(d.gapped)
 }
 
 // Close finalizes streaming state: flushes per-day heatmap counts, folds

@@ -7,6 +7,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/sim"
 )
 
@@ -223,4 +224,108 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// pingWithCar builds a minimal UberX response showing one car at pos.
+func pingWithCar(now int64, carID string, pos geo.LatLng) *core.PingResponse {
+	return &core.PingResponse{
+		Time: now,
+		Types: []core.TypeStatus{{
+			Type: core.UberX, TypeName: "uberX", Surge: 1, EWTSeconds: 120,
+			Cars: []core.CarView{{ID: carID, Pos: pos}},
+		}},
+	}
+}
+
+// interiorCar returns a wire position well inside the measurement rect, so
+// a disappearance there passes the edge filter.
+func interiorCar(profile *sim.CityProfile) (geo.LatLng, geo.Point) {
+	r := profile.MeasureRect
+	center := geo.Point{X: r.Min.X + r.Width()/2, Y: r.Min.Y + r.Height()/2}
+	return geo.NewProjection(profile.Origin).ToLatLng(center), center
+}
+
+func newGapTestDataset(profile *sim.CityProfile) *Dataset {
+	return NewDataset(Config{
+		Profile: profile, Start: 0, End: 3600, ClientAreas: []int{0, 0},
+	}, 2)
+}
+
+func deathTotal(ds *Dataset) float64 {
+	var sum float64
+	for _, v := range ds.DeathSeries(core.UberX).Values {
+		if !math.IsNaN(v) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestGapSuppressesPhantomDeath is the skew the gap plumbing exists to
+// prevent: a car that "disappears" because its only watcher failed to ping
+// must not be counted as a death (phantom fulfilled demand).
+func TestGapSuppressesPhantomDeath(t *testing.T) {
+	profile := sim.Manhattan()
+	carLL, clientPos := interiorCar(profile)
+
+	// Control: the car vanishes with its watcher healthy → one death.
+	ctl := newGapTestDataset(profile)
+	ctl.Observe(0, clientPos, pingWithCar(5, "car-1", carLL))
+	ctl.EndRound(5)
+	ctl.EndRound(10)
+	ctl.EndRound(15) // second consecutive miss confirms the death
+	if got := deathTotal(ctl); got != 1 {
+		t.Fatalf("control deaths = %v, want 1", got)
+	}
+
+	// Same disappearance, but the watcher gapped: blind miss, no death.
+	ds := newGapTestDataset(profile)
+	ds.Observe(0, clientPos, pingWithCar(5, "car-1", carLL))
+	ds.EndRound(5)
+	for _, now := range []int64{10, 15, 20} {
+		ds.ObserveGap(0, clientPos, 5, nil)
+		ds.EndRound(now)
+	}
+	if got := deathTotal(ds); got != 0 {
+		t.Errorf("deaths with blind watcher = %v, want 0", got)
+	}
+	if ds.Gaps != 3 || ds.ClientGaps[0] != 3 {
+		t.Errorf("Gaps = %d, ClientGaps[0] = %d, want 3, 3", ds.Gaps, ds.ClientGaps[0])
+	}
+
+	// A gap on some *other* client does not blind this car's watcher: the
+	// death is still counted.
+	other := newGapTestDataset(profile)
+	other.Observe(0, clientPos, pingWithCar(5, "car-1", carLL))
+	other.EndRound(5)
+	for _, now := range []int64{10, 15} {
+		other.ObserveGap(1, clientPos, 5, nil)
+		other.EndRound(now)
+	}
+	if got := deathTotal(other); got != 1 {
+		t.Errorf("deaths with unrelated gap = %v, want 1", got)
+	}
+}
+
+// TestGapThenRecoveryKeepsCarAlive checks that a blind round does not
+// advance the missed count: once the watcher recovers and the car is still
+// there, tracking continues as if nothing happened.
+func TestGapThenRecoveryKeepsCarAlive(t *testing.T) {
+	profile := sim.Manhattan()
+	carLL, clientPos := interiorCar(profile)
+	ds := newGapTestDataset(profile)
+
+	ds.Observe(0, clientPos, pingWithCar(5, "car-1", carLL))
+	ds.EndRound(5)
+	ds.ObserveGap(0, clientPos, 5, nil) // one blind round
+	ds.EndRound(10)
+	ds.Observe(0, clientPos, pingWithCar(15, "car-1", carLL)) // recovered
+	ds.EndRound(15)
+	// Now a real two-round disappearance: exactly one death, at the
+	// post-recovery position.
+	ds.EndRound(20)
+	ds.EndRound(25)
+	if got := deathTotal(ds); got != 1 {
+		t.Errorf("deaths = %v, want 1 (gap must not double-count or lose the car)", got)
+	}
 }

@@ -19,8 +19,9 @@ import (
 	"repro/internal/geo"
 )
 
-// Version is the current file format version.
-const Version = 1
+// Version is the current file format version. Version 2 added explicit
+// gap rows (failed pings recorded as holes, not silently dropped).
+const Version = 2
 
 // Header opens every recording.
 type Header struct {
@@ -46,17 +47,28 @@ type typeRec struct {
 type obsRec struct {
 	Time   int64     `json:"t"`
 	Client int       `json:"c"`
-	Types  []typeRec `json:"y"`
+	Types  []typeRec `json:"y,omitempty"`
+	// Gap marks a row recording a failed ping instead of an observation;
+	// Reason carries the error text.
+	Gap    bool   `json:"g,omitempty"`
+	Reason string `json:"r,omitempty"`
 }
 
-// Writer streams observations to disk. It implements client.Sink, so it
-// can be attached to a campaign next to the live Dataset.
+// Writer streams observations to disk. It implements client.Sink (and
+// client.GapSink: failed pings are written as explicit gap rows, the way
+// the paper's dataset accounts for its ~2.5% loss), so it can be attached
+// to a campaign next to the live Dataset.
 type Writer struct {
 	gz   *gzip.Writer
 	bw   *bufio.Writer
 	enc  *json.Encoder
 	err  error
 	Rows int64
+	// Gaps counts gap rows written.
+	Gaps int64
+	// pendingGaps buffers the round's failed pings until EndRound, when
+	// the round's timestamp is known.
+	pendingGaps []obsRec
 }
 
 // NewWriter writes the header and returns a sink-compatible writer.
@@ -92,9 +104,39 @@ func (w *Writer) Observe(clientIdx int, pos geo.Point, resp *core.PingResponse) 
 	w.Rows++
 }
 
+// ObserveGap implements client.GapSink. The row is buffered until
+// EndRound supplies the round's timestamp (a gap can precede the round's
+// first successful ping, whose response carries the time).
+func (w *Writer) ObserveGap(clientIdx int, pos geo.Point, lastSeen int64, err error) {
+	if w.err != nil {
+		return
+	}
+	reason := ""
+	if err != nil {
+		reason = err.Error()
+	}
+	w.pendingGaps = append(w.pendingGaps, obsRec{Client: clientIdx, Gap: true, Reason: reason})
+}
+
 // EndRound implements client.Sink; rounds are reconstructed on replay
-// from the shared timestamp, so nothing is written.
-func (w *Writer) EndRound(now int64) {}
+// from the shared timestamp, so only the round's buffered gap rows are
+// written. (If every ping in a round failed, the gaps attach to the
+// previous round's timestamp — the closest time the recording knows.)
+func (w *Writer) EndRound(now int64) {
+	for i := range w.pendingGaps {
+		w.pendingGaps[i].Time = now
+		if w.err != nil {
+			break
+		}
+		if err := w.enc.Encode(&w.pendingGaps[i]); err != nil {
+			w.err = err
+			break
+		}
+		w.Rows++
+		w.Gaps++
+	}
+	w.pendingGaps = w.pendingGaps[:0]
+}
 
 // Close flushes and finalizes the stream.
 func (w *Writer) Close() error {
@@ -143,13 +185,22 @@ func Replay(r io.Reader, sinks ...client.Sink) (Header, int64, error) {
 			rounds++
 		}
 		curTime = rec.Time
-		resp, err := rec.toResponse()
-		if err != nil {
-			return hdr, rounds, err
-		}
 		var pos geo.Point
 		if rec.Client >= 0 && rec.Client < len(hdr.Clients) {
 			pos = hdr.Clients[rec.Client]
+		}
+		if rec.Gap {
+			gapErr := errors.New("record: " + rec.Reason)
+			for _, s := range sinks {
+				if gs, ok := s.(client.GapSink); ok {
+					gs.ObserveGap(rec.Client, pos, rec.Time, gapErr)
+				}
+			}
+			continue
+		}
+		resp, err := rec.toResponse()
+		if err != nil {
+			return hdr, rounds, err
 		}
 		for _, s := range sinks {
 			s.Observe(rec.Client, pos, resp)

@@ -2,7 +2,9 @@ package record
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/api"
@@ -155,3 +157,78 @@ type discardSink struct{}
 
 func (discardSink) Observe(int, geo.Point, *core.PingResponse) {}
 func (discardSink) EndRound(int64)                             {}
+
+// flakyPinger fails a fraction of pings so the recording contains gap rows.
+type flakyPinger struct {
+	core.Service
+	rng      *rand.Rand
+	failProb float64
+}
+
+func (f *flakyPinger) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
+	if f.rng.Float64() < f.failProb {
+		return nil, errors.New("simulated transport failure")
+	}
+	return f.Service.PingClient(clientID, loc)
+}
+
+// TestRoundTripPreservesGaps runs a lossy campaign and checks the replayed
+// dataset sees the same explicit gaps — and therefore the same death
+// series — as the live one. This is the v2 format's reason to exist.
+func TestRoundTripPreservesGaps(t *testing.T) {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 78, false)
+	flaky := &flakyPinger{Service: svc, rng: rand.New(rand.NewSource(9)), failProb: 0.1}
+	pts := client.GridLayout(profile.MeasureRect, profile.ClientSpacing, client.NumClients)
+	camp := client.NewCampaign(flaky, svc.World().Projection(), pts)
+	camp.RegisterAll(svc)
+
+	mkDataset := func() *measure.Dataset {
+		return measure.NewDataset(measure.Config{
+			Profile: profile, Start: 0, End: 1800,
+		}, len(pts))
+	}
+	live := mkDataset()
+	camp.AddSink(live)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{City: profile.Name, Start: 0, Clients: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.AddSink(w)
+	camp.RunSim(svc, 1800)
+	live.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if camp.Errors == 0 || w.Gaps == 0 {
+		t.Fatalf("campaign errors = %d, recorded gaps = %d; want both > 0", camp.Errors, w.Gaps)
+	}
+	if w.Gaps != camp.Errors {
+		t.Errorf("recorded gaps = %d, campaign errors = %d", w.Gaps, camp.Errors)
+	}
+
+	replayed := mkDataset()
+	if _, _, err := Replay(&buf, replayed); err != nil {
+		t.Fatal(err)
+	}
+	replayed.Close()
+
+	if replayed.Gaps != live.Gaps {
+		t.Errorf("replayed gaps = %d, live = %d", replayed.Gaps, live.Gaps)
+	}
+	for i := range live.ClientGaps {
+		if live.ClientGaps[i] != replayed.ClientGaps[i] {
+			t.Fatalf("client %d gaps: live %d, replayed %d", i, live.ClientGaps[i], replayed.ClientGaps[i])
+		}
+	}
+	// Gap-aware death detection must agree between live and replay: blind
+	// misses suppressed identically.
+	a, b := live.DeathSeries(core.UberX), replayed.DeathSeries(core.UberX)
+	for i := range a.Values {
+		if !eqNaN(a.Values[i], b.Values[i]) {
+			t.Fatalf("deaths[%d]: live %v, replayed %v", i, a.Values[i], b.Values[i])
+		}
+	}
+}

@@ -47,13 +47,16 @@ type Prober struct {
 const pointsPerAccount = 80
 
 // Registrar matches api.Service's and api.Remote's account surface.
+// Registration against a remote backend can fail, so Register returns an
+// error.
 type Registrar interface {
-	Register(clientID string)
+	Register(clientID string) error
 }
 
 // NewProber lays a lattice with the given spacing over rect and registers
-// the accounts it needs.
-func NewProber(svc core.Service, reg Registrar, proj *geo.Projection, rect geo.Rect, spacing float64) *Prober {
+// the accounts it needs. It fails only when an account registration fails
+// (possible against a remote backend; never in-process).
+func NewProber(svc core.Service, reg Registrar, proj *geo.Projection, rect geo.Rect, spacing float64) (*Prober, error) {
 	p := &Prober{Svc: svc, Proj: proj, Spacing: spacing, Rect: rect}
 	p.cols = int(rect.Width()/spacing) + 1
 	p.rows = int(rect.Height()/spacing) + 1
@@ -70,9 +73,11 @@ func NewProber(svc core.Service, reg Registrar, proj *geo.Projection, rect geo.R
 	for i := 0; i < nAcc; i++ {
 		id := fmt.Sprintf("mapper-%02d", i)
 		p.accounts = append(p.accounts, id)
-		reg.Register(id)
+		if err := reg.Register(id); err != nil {
+			return nil, fmt.Errorf("surgemap: register %s: %w", id, err)
+		}
 	}
-	return p
+	return p, nil
 }
 
 // NumPoints returns the lattice size.

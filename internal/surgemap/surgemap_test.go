@@ -45,7 +45,10 @@ func TestInferRecoversTrueAreas(t *testing.T) {
 	// areas.
 	profile := sim.SanFrancisco()
 	svc := api.NewBackend(profile, 17, false)
-	prober := NewProber(svc, svc, svc.World().Projection(), profile.MeasureRect, 350)
+	prober, err := NewProber(svc, svc, svc.World().Projection(), profile.MeasureRect, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if prober.NumPoints() == 0 {
 		t.Fatal("no lattice points")
 	}

@@ -102,8 +102,8 @@ func (r *Replayer) sync() {
 }
 
 // Register implements the campaign's Registrar; the taxi simulator has no
-// accounts.
-func (r *Replayer) Register(clientID string) {}
+// accounts, so it always succeeds.
+func (r *Replayer) Register(clientID string) error { return nil }
 
 // PingClient returns the eight nearest available taxis as UberT.
 func (r *Replayer) PingClient(clientID string, loc geo.LatLng) (*core.PingResponse, error) {
