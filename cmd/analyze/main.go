@@ -4,12 +4,21 @@
 // series, EWT and surge distributions, surge durations, jitter events,
 // and the Table 1 forecasting fits.
 //
+// It reads both store kinds: a gzip recording (`measure -record x.jsonl.gz`)
+// or a tsdb directory (`measure -record x.tsdb -store tsdb`). With -from/-to
+// a tsdb store is range-queried, decoding only the chunks overlapping the
+// window instead of the whole campaign. A recording with a truncated tail
+// (crashed campaign, partial copy) is analyzed up to the damage, with a
+// warning.
+//
 // Usage:
 //
 //	analyze -in campaign.jsonl.gz
+//	analyze -in campaign.tsdb -from 1672531200 -to 1672617600
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,26 +32,19 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "recording file (required)")
+	in := flag.String("in", "", "recording file or tsdb directory (required)")
+	from := flag.Int64("from", 0, "analyze observations at or after this campaign time (0 = start)")
+	to := flag.Int64("to", 0, "analyze observations before this campaign time (0 = end)")
 	flag.Parse()
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "usage: analyze -in campaign.jsonl.gz")
+		fmt.Fprintln(os.Stderr, "usage: analyze -in campaign.jsonl.gz [-from T] [-to T]")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
 
-	// Peek the header first to size the dataset; then rewind and replay.
-	hdr, _, err := record.Replay(f)
+	// One pass over the header only; the data stream stays untouched until
+	// the replay below.
+	hdr, err := record.ReadHeaderPath(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if _, err := f.Seek(0, 0); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -57,16 +59,41 @@ func main() {
 	for i, p := range hdr.Clients {
 		clientAreas[i] = sim.AreaOf(areas, p)
 	}
-	// Bound the series generously; the recording's last round sets the
-	// real extent.
+
+	lo, hi := int64(record.MinTime), int64(record.MaxTime)
+	if *from != 0 {
+		lo = *from
+	}
+	if *to != 0 {
+		hi = *to
+	}
+	// A tsdb store knows its extent up front, so the series can be sized
+	// exactly; a gzip recording is bounded generously and trimmed later.
+	start, end := hdr.Start, hdr.Start+14*24*3600
+	if minT, maxT, ok, err := record.StoreBounds(*in); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if ok {
+		start, end = minT, maxT+measure.Interval
+	}
+	if lo > start {
+		start = lo
+	}
+	if hi < end {
+		end = hi
+	}
 	ds := measure.NewDataset(measure.Config{
 		Profile:     profile,
-		Start:       hdr.Start,
-		End:         hdr.Start + 14*24*3600,
+		Start:       start,
+		End:         end,
 		ClientAreas: clientAreas,
 	}, len(hdr.Clients))
 
-	hdr2, rounds, err := record.Replay(f, ds)
+	hdr2, rounds, err := record.ReplayPathRange(*in, lo, hi, ds)
+	if errors.Is(err, record.ErrTruncated) {
+		fmt.Fprintf(os.Stderr, "warning: %v; analyzing the %d rounds before the damage\n", err, rounds)
+		err = nil
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -76,8 +103,8 @@ func main() {
 	fmt.Printf("recording: city=%s clients=%d rounds=%d\n", hdr2.City, len(hdr2.Clients), rounds)
 	printSeries(ds)
 	printDistributions(ds)
-	printSurgeAnalysis(ds, hdr.Start, hdr.Start+rounds*5)
-	printForecast(ds)
+	printSurgeAnalysis(ds, start, start+rounds*5)
+	printForecast(ds, start, start+rounds*5)
 }
 
 func profileByName(name string) (*sim.CityProfile, error) {
@@ -156,8 +183,8 @@ func printSurgeAnalysis(ds *measure.Dataset, start, end int64) {
 	}
 }
 
-func printForecast(ds *measure.Dataset) {
-	table, samples, err := forecast.FitCity(ds)
+func printForecast(ds *measure.Dataset, from, to int64) {
+	table, samples, err := forecast.FitCityRange(ds, from, to)
 	if err != nil {
 		fmt.Printf("\nforecast: %v\n", err)
 		return

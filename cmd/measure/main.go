@@ -37,7 +37,9 @@ func main() {
 		jitter  = flag.Bool("jitter", true, "April 2015 mode (in-process mode)")
 		addr    = flag.String("addr", "", "remote uberd base URL; empty = in-process")
 		rounds  = flag.Int("rounds", 720, "ping rounds in remote mode (1 round / 5 s)")
-		recFile = flag.String("record", "", "write the raw pingClient stream to this gzip file")
+		recFile = flag.String("record", "", "write the raw pingClient stream to this path")
+		store   = flag.String("store", record.StoreJSONL,
+			"recording store: jsonl (one gzip file) or tsdb (crash-safe compressed directory)")
 	)
 	flag.Parse()
 
@@ -79,12 +81,17 @@ func main() {
 			Profile: profile, Start: start, End: end, ClientAreas: clientAreas,
 		}, len(pts))
 		camp.AddSink(ds)
+		rec := openRecorder(*store, *recFile, profile.Name, start, pts)
+		if rec != nil {
+			camp.AddSink(rec)
+		}
 		fmt.Printf("measuring remote %s (%s) for %d rounds...\n", *addr, profile.Name, *rounds)
 		for i := 0; i < *rounds; i++ {
 			camp.Round()
 			time.Sleep(100 * time.Millisecond) // remote clock advances on its own
 		}
 		ds.Close()
+		closeRecorder(rec, *recFile, *store)
 		printSummary(ds, camp)
 		return
 	}
@@ -98,19 +105,8 @@ func main() {
 	}, len(pts))
 	camp.AddSink(ds)
 
-	var rec *record.Writer
-	if *recFile != "" {
-		f, err := os.Create(*recFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		rec, err = record.NewWriter(f, record.Header{City: profile.Name, Start: 0, Clients: pts})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	rec := openRecorder(*store, *recFile, profile.Name, 0, pts)
+	if rec != nil {
 		camp.AddSink(rec)
 	}
 
@@ -118,14 +114,35 @@ func main() {
 		profile.Name, *hours, len(camp.Clients))
 	camp.RunSim(svc, end)
 	ds.Close()
-	if rec != nil {
-		if err := rec.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "recording:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("recorded %d rows to %s\n", rec.Rows, *recFile)
-	}
+	closeRecorder(rec, *recFile, *store)
 	printSummary(ds, camp)
+}
+
+// openRecorder opens the -record store (nil when -record is unset),
+// exiting on error.
+func openRecorder(kind, path, city string, start int64, pts []geo.Point) record.CampaignWriter {
+	if path == "" {
+		return nil
+	}
+	rec, err := record.Create(kind, path,
+		record.Header{City: city, Start: start, Clients: pts}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return rec
+}
+
+func closeRecorder(rec record.CampaignWriter, path, kind string) {
+	if rec == nil {
+		return
+	}
+	if err := rec.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "recording:", err)
+		os.Exit(1)
+	}
+	rows, _ := rec.Written()
+	fmt.Printf("recorded %d rows to %s (store=%s)\n", rows, path, kind)
 }
 
 func printSummary(ds *measure.Dataset, camp *client.Campaign) {

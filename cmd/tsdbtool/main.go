@@ -1,0 +1,143 @@
+// Command tsdbtool inspects and maintains tsdb campaign stores (the
+// directories written by `measure -record DIR -store tsdb`).
+//
+// Usage:
+//
+//	tsdbtool inspect DIR            summarize segments, series, time range
+//	tsdbtool verify DIR             walk every CRC; nonzero exit on damage
+//	tsdbtool compact DIR            merge all sealed segments into one
+//	tsdbtool convert -in A -out B   convert tsdb dir ↔ gzip recording
+//
+// verify re-reads every byte: whole-file CRCs (a single flipped byte
+// anywhere fails), per-chunk CRCs, decode of every chunk, and a WAL scan
+// reporting how many rows a reopen would recover after a crash.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/record"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "inspect":
+		err = inspect(dirArg(os.Args[2:]))
+	case "verify":
+		err = verify(dirArg(os.Args[2:]))
+	case "compact":
+		err = compact(dirArg(os.Args[2:]))
+	case "convert":
+		err = convert(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsdbtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tsdbtool inspect DIR
+  tsdbtool verify DIR
+  tsdbtool compact DIR
+  tsdbtool convert -in PATH -out PATH`)
+	os.Exit(2)
+}
+
+func dirArg(args []string) string {
+	if len(args) != 1 {
+		usage()
+	}
+	return args[0]
+}
+
+func inspect(dir string) error {
+	db, err := tsdb.Open(dir, tsdb.Options{ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	st := db.Stats()
+	fmt.Printf("store: %s\n", dir)
+	if hdr, err := record.ReadHeaderPath(dir); err == nil {
+		fmt.Printf("campaign: city=%s clients=%d start=%d\n", hdr.City, len(hdr.Clients), hdr.Start)
+	}
+	fmt.Printf("segments: %d (%d bytes, %d rows)\n", st.Segments, st.SegmentBytes, st.SegmentRows)
+	fmt.Printf("wal: %d rows pending seal (%d recovered at open)\n", st.HeadRows, st.Recovered)
+	if st.HasData {
+		fmt.Printf("time range: [%d, %d] (%.1f campaign hours)\n",
+			st.MinTime, st.MaxTime, float64(st.MaxTime-st.MinTime)/3600)
+	}
+	fmt.Printf("series: %d\n", len(db.Series()))
+	if rows := st.SegmentRows + int64(st.HeadRows); rows > 0 && st.SegmentBytes > 0 {
+		fmt.Printf("bytes/row (sealed): %.1f\n", float64(st.SegmentBytes)/float64(st.SegmentRows))
+	}
+	return nil
+}
+
+func verify(dir string) error {
+	rep, err := tsdb.Verify(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range rep.Segments {
+		fmt.Printf("segment %s: %d rows, %d chunks, %d bytes, [%d, %d] ok\n",
+			s.Path, s.Rows, s.Chunks, s.Bytes, s.MinT, s.MaxT)
+	}
+	fmt.Printf("sealed rows: %d\n", rep.Rows)
+	switch {
+	case rep.WALStale:
+		fmt.Println("wal: stale (head already sealed; will be discarded)")
+	case rep.WALTorn:
+		fmt.Printf("wal: recovered %d rows (torn tail dropped)\n", rep.WALRows)
+	default:
+		fmt.Printf("wal: recovered %d rows\n", rep.WALRows)
+	}
+	fmt.Println("ok")
+	return nil
+}
+
+func compact(dir string) error {
+	db, err := tsdb.Open(dir, tsdb.Options{})
+	if err != nil {
+		return err
+	}
+	before := db.Stats()
+	if err := db.Compact(); err != nil {
+		db.Close()
+		return err
+	}
+	after := db.Stats()
+	if err := db.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %d segments (%d bytes) into %d (%d bytes)\n",
+		before.Segments, before.SegmentBytes, after.Segments, after.SegmentBytes)
+	return nil
+}
+
+func convert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "source store (tsdb directory or gzip recording)")
+	out := fs.String("out", "", "destination store (kind inferred: the opposite of -in)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out are required")
+	}
+	hdr, rows, err := record.Convert(*in, *out, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d rows (city=%s, %d clients) to %s\n", rows, hdr.City, len(hdr.Clients), *out)
+	return nil
+}

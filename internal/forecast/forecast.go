@@ -38,6 +38,13 @@ type Sample struct {
 // applying the paper's cleaning rule: intervals with surge = 1 are
 // dropped unless they directly precede or follow a surging interval.
 func BuildSamples(ds *measure.Dataset, area int) []Sample {
+	return BuildSamplesRange(ds, area, math.MinInt64, math.MaxInt64)
+}
+
+// BuildSamplesRange is BuildSamples restricted to intervals starting in
+// [from, to) — the window cmd/analyze selects with -from/-to, so a fit
+// over one evening of a long campaign doesn't pay for the other weeks.
+func BuildSamplesRange(ds *measure.Dataset, area int, from, to int64) []Sample {
 	supply := ds.AreaSupplySeries(area)
 	deaths := ds.AreaDeathSeries(area)
 	ewt := ds.AreaEWTSeries(area)
@@ -45,6 +52,9 @@ func BuildSamples(ds *measure.Dataset, area int) []Sample {
 	n := surge.Len()
 	var out []Sample
 	for i := 0; i+1 < n; i++ {
+		if t := surge.Start + int64(i)*measure.Interval; t < from || t >= to {
+			continue
+		}
 		s, d, e := supply.Values[i], deaths.Values[i], ewt.Values[i]
 		m, next := surge.Values[i], surge.Values[i+1]
 		if math.IsNaN(s) || math.IsNaN(e) || math.IsNaN(m) || math.IsNaN(next) {
@@ -160,9 +170,14 @@ func FitTable(samples []Sample) (Table, error) {
 // identical per-area feature semantics, pooling gives the same shape with
 // more data).
 func FitCity(ds *measure.Dataset) (Table, []Sample, error) {
+	return FitCityRange(ds, math.MinInt64, math.MaxInt64)
+}
+
+// FitCityRange is FitCity restricted to intervals starting in [from, to).
+func FitCityRange(ds *measure.Dataset, from, to int64) (Table, []Sample, error) {
 	var all []Sample
 	for a := 0; a < ds.NumAreas(); a++ {
-		all = append(all, BuildSamples(ds, a)...)
+		all = append(all, BuildSamplesRange(ds, a, from, to)...)
 	}
 	t, err := FitTable(all)
 	return t, all, err

@@ -23,6 +23,13 @@ import (
 // gap rows (failed pings recorded as holes, not silently dropped).
 const Version = 2
 
+// ErrTruncated marks a recording with a truncated or corrupt tail (a
+// crashed campaign, a partial copy). Replay returns it wrapped after
+// delivering every row it could decode, so callers can analyze the
+// partial data: errors.Is(err, ErrTruncated) distinguishes "the tail is
+// missing" from "the file is unreadable".
+var ErrTruncated = errors.New("record: truncated recording")
+
 // Header opens every recording.
 type Header struct {
 	Version int         `json:"version"`
@@ -149,10 +156,55 @@ func (w *Writer) Close() error {
 	return w.gz.Close()
 }
 
+// Written reports the rows (total) and gap rows recorded so far.
+func (w *Writer) Written() (rows, gaps int64) { return w.Rows, w.Gaps }
+
+// ReadHeader decodes only a recording's header, without decompressing the
+// observation stream behind it.
+func ReadHeader(r io.Reader) (Header, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return Header{}, fmt.Errorf("record: open: %w", err)
+	}
+	defer gz.Close()
+	var hdr Header
+	if err := json.NewDecoder(bufio.NewReaderSize(gz, 1<<16)).Decode(&hdr); err != nil {
+		return Header{}, fmt.Errorf("record: read header: %w", err)
+	}
+	if hdr.Version != Version {
+		return hdr, fmt.Errorf("record: unsupported version %d", hdr.Version)
+	}
+	return hdr, nil
+}
+
 // Replay streams a recording into sinks, reconstructing round boundaries
 // (all observations of one round share a timestamp). It returns the
-// header and the number of rounds replayed.
+// header and the number of rounds replayed. If the stream ends in a
+// truncated or corrupt tail, every decodable row is delivered first and
+// the returned error wraps ErrTruncated.
 func Replay(r io.Reader, sinks ...client.Sink) (Header, int64, error) {
+	return replayRange(r, minTime, maxTime, sinks...)
+}
+
+// ReplayRange is Replay restricted to rows with from ≤ time < to.
+// Rounds outside the window are skipped entirely (no EndRound).
+func ReplayRange(r io.Reader, from, to int64, sinks ...client.Sink) (Header, int64, error) {
+	return replayRange(r, from, to, sinks...)
+}
+
+// MinTime and MaxTime are open range bounds for the *Range replay
+// helpers: [MinTime, MaxTime) covers every observation.
+const (
+	MinTime = int64(-1) << 62
+	MaxTime = int64(1) << 62
+)
+
+const (
+	minTime = MinTime
+	maxTime = MaxTime
+)
+
+func replayRange(r io.Reader, from, to int64, sinks ...client.Sink) (Header, int64, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return Header{}, 0, fmt.Errorf("record: open: %w", err)
@@ -168,51 +220,85 @@ func Replay(r io.Reader, sinks ...client.Sink) (Header, int64, error) {
 		return hdr, 0, fmt.Errorf("record: unsupported version %d", hdr.Version)
 	}
 
-	var rounds int64
-	curTime := int64(-1)
+	rp := newRoundPlayer(hdr, sinks)
 	for {
 		var rec obsRec
 		if err := dec.Decode(&rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			return hdr, rounds, fmt.Errorf("record: read row: %w", err)
+			// A tail the campaign never finished writing (crash mid-row,
+			// missing gzip trailer): deliver what decoded, mark the rest.
+			rp.finish()
+			return hdr, rp.rounds, fmt.Errorf("record: read row: %v: %w", err, ErrTruncated)
 		}
-		if curTime >= 0 && rec.Time != curTime {
-			for _, s := range sinks {
-				s.EndRound(curTime)
-			}
-			rounds++
-		}
-		curTime = rec.Time
-		var pos geo.Point
-		if rec.Client >= 0 && rec.Client < len(hdr.Clients) {
-			pos = hdr.Clients[rec.Client]
-		}
-		if rec.Gap {
-			gapErr := errors.New("record: " + rec.Reason)
-			for _, s := range sinks {
-				if gs, ok := s.(client.GapSink); ok {
-					gs.ObserveGap(rec.Client, pos, rec.Time, gapErr)
-				}
-			}
+		if rec.Time < from || rec.Time >= to {
 			continue
 		}
-		resp, err := rec.toResponse()
-		if err != nil {
-			return hdr, rounds, err
-		}
-		for _, s := range sinks {
-			s.Observe(rec.Client, pos, resp)
+		if err := rp.play(&rec); err != nil {
+			return hdr, rp.rounds, err
 		}
 	}
-	if curTime >= 0 {
-		for _, s := range sinks {
-			s.EndRound(curTime)
-		}
-		rounds++
+	rp.finish()
+	return hdr, rp.rounds, nil
+}
+
+// roundPlayer feeds decoded rows to sinks, closing each round when the
+// shared timestamp changes. It is the common replay tail for the gzip
+// and tsdb stores.
+type roundPlayer struct {
+	hdr     Header
+	sinks   []client.Sink
+	curTime int64
+	rounds  int64
+}
+
+func newRoundPlayer(hdr Header, sinks []client.Sink) *roundPlayer {
+	return &roundPlayer{hdr: hdr, sinks: sinks, curTime: -1}
+}
+
+func (rp *roundPlayer) play(rec *obsRec) error {
+	if rp.curTime >= 0 && rec.Time != rp.curTime {
+		rp.endRound()
 	}
-	return hdr, rounds, nil
+	rp.curTime = rec.Time
+	var pos geo.Point
+	if rec.Client >= 0 && rec.Client < len(rp.hdr.Clients) {
+		pos = rp.hdr.Clients[rec.Client]
+	}
+	if rec.Gap {
+		// The reason is passed through verbatim so a recording survives
+		// store conversions without accreting wrapper prefixes.
+		gapErr := errors.New(rec.Reason)
+		for _, s := range rp.sinks {
+			if gs, ok := s.(client.GapSink); ok {
+				gs.ObserveGap(rec.Client, pos, rec.Time, gapErr)
+			}
+		}
+		return nil
+	}
+	resp, err := rec.toResponse()
+	if err != nil {
+		return err
+	}
+	for _, s := range rp.sinks {
+		s.Observe(rec.Client, pos, resp)
+	}
+	return nil
+}
+
+func (rp *roundPlayer) endRound() {
+	for _, s := range rp.sinks {
+		s.EndRound(rp.curTime)
+	}
+	rp.rounds++
+}
+
+// finish closes the final round, if any.
+func (rp *roundPlayer) finish() {
+	if rp.curTime >= 0 {
+		rp.endRound()
+	}
 }
 
 func (r *obsRec) toResponse() (*core.PingResponse, error) {

@@ -1,0 +1,318 @@
+// The tsdb-backed campaign store. The gzip-JSONL format (record.go) is
+// one flat file; the tsdb store is a directory managed by internal/tsdb:
+// crash-safe (WAL), compressed (columnar chunks), and range-queryable, so
+// cmd/analyze can read one evening of a four-week campaign without
+// decompressing the rest. Both stores hold the same rows; Convert maps
+// between them losslessly (car path vectors are dropped by both).
+//
+// Path-based helpers (ReadHeaderPath, ReplayPath, ReplayPathRange)
+// dispatch on the store kind so callers never branch on the format.
+
+package record
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/tsdb"
+)
+
+// CampaignWriter is the write side of a campaign store. Both the
+// gzip-JSONL Writer and the tsdb-backed TSDBWriter implement it, so
+// cmd/measure attaches either as a campaign sink via -store.
+type CampaignWriter interface {
+	client.Sink
+	client.GapSink
+	Close() error
+	Written() (rows, gaps int64)
+}
+
+// StoreKinds lists the values Create accepts.
+const (
+	StoreJSONL = "jsonl"
+	StoreTSDB  = "tsdb"
+)
+
+// Create opens a campaign store of the given kind at path. metrics may be
+// nil; the tsdb store reports compression/fsync/compaction metrics to it.
+func Create(kind, path string, hdr Header, metrics *obs.Registry) (CampaignWriter, error) {
+	switch kind {
+	case StoreJSONL, "":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		w, err := NewWriter(f, hdr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &fileWriter{Writer: w, f: f}, nil
+	case StoreTSDB:
+		return CreateTSDB(path, hdr, metrics)
+	default:
+		return nil, fmt.Errorf("record: unknown store kind %q (want %s or %s)", kind, StoreJSONL, StoreTSDB)
+	}
+}
+
+// fileWriter pairs a Writer with the file it owns.
+type fileWriter struct {
+	*Writer
+	f *os.File
+}
+
+func (w *fileWriter) Close() error {
+	err := w.Writer.Close()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// TSDBWriter streams a campaign into a tsdb store: one series per client,
+// one Commit (one WAL fsync) per ping round. It implements client.Sink
+// and client.GapSink exactly like Writer, including buffering gap rows
+// until EndRound supplies the round's timestamp.
+type TSDBWriter struct {
+	db   *tsdb.DB
+	err  error
+	rows int64
+	gaps int64
+	// pendingGaps buffers the round's failed pings until EndRound.
+	pendingGaps []tsdb.Row
+}
+
+// CreateTSDB creates (or reopens) a tsdb campaign store at dir. The
+// campaign header is stored in the tsdb metadata; reopening an existing
+// store resumes it (rows recovered from the WAL are counted as written).
+func CreateTSDB(dir string, hdr Header, metrics *obs.Registry) (*TSDBWriter, error) {
+	hdr.Version = Version
+	extra, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	db, err := tsdb.Open(dir, tsdb.Options{Extra: extra, Metrics: metrics})
+	if err != nil {
+		return nil, err
+	}
+	return &TSDBWriter{db: db, rows: int64(db.Recovered())}, nil
+}
+
+// Observe implements client.Sink.
+func (w *TSDBWriter) Observe(clientIdx int, pos geo.Point, resp *core.PingResponse) {
+	if w.err != nil {
+		return
+	}
+	row := tsdb.Row{Time: resp.Time, Series: clientIdx}
+	for i := range resp.Types {
+		ts := &resp.Types[i]
+		obs := tsdb.TypeObs{Name: ts.TypeName, Surge: ts.Surge, EWT: ts.EWTSeconds}
+		for _, c := range ts.Cars {
+			obs.Cars = append(obs.Cars, tsdb.Car{ID: c.ID, Lat: c.Pos.Lat, Lng: c.Pos.Lng})
+		}
+		row.Types = append(row.Types, obs)
+	}
+	if err := w.db.Append(row); err != nil {
+		w.err = err
+		return
+	}
+	w.rows++
+}
+
+// ObserveGap implements client.GapSink; the row is buffered until
+// EndRound supplies the round's timestamp.
+func (w *TSDBWriter) ObserveGap(clientIdx int, pos geo.Point, lastSeen int64, err error) {
+	if w.err != nil {
+		return
+	}
+	reason := ""
+	if err != nil {
+		reason = err.Error()
+	}
+	w.pendingGaps = append(w.pendingGaps, tsdb.Row{Series: clientIdx, Gap: true, Reason: reason})
+}
+
+// EndRound implements client.Sink: buffered gap rows get the round's
+// timestamp, and the round is committed (one WAL fsync).
+func (w *TSDBWriter) EndRound(now int64) {
+	for i := range w.pendingGaps {
+		if w.err != nil {
+			break
+		}
+		w.pendingGaps[i].Time = now
+		if err := w.db.Append(w.pendingGaps[i]); err != nil {
+			w.err = err
+			break
+		}
+		w.rows++
+		w.gaps++
+	}
+	w.pendingGaps = w.pendingGaps[:0]
+	if w.err == nil {
+		if err := w.db.Commit(); err != nil {
+			w.err = err
+		}
+	}
+}
+
+// Written reports rows (total) and gap rows stored so far.
+func (w *TSDBWriter) Written() (rows, gaps int64) { return w.rows, w.gaps }
+
+// Close seals and closes the store.
+func (w *TSDBWriter) Close() error {
+	cerr := w.db.Close()
+	if w.err != nil {
+		return w.err
+	}
+	return cerr
+}
+
+// headerFromStore decodes the campaign header a tsdb store carries.
+func headerFromStore(db *tsdb.DB) (Header, error) {
+	var hdr Header
+	if len(db.Extra()) == 0 {
+		return hdr, errors.New("record: tsdb store has no campaign header")
+	}
+	if err := json.Unmarshal(db.Extra(), &hdr); err != nil {
+		return hdr, fmt.Errorf("record: tsdb store header: %w", err)
+	}
+	if hdr.Version != Version {
+		return hdr, fmt.Errorf("record: unsupported version %d", hdr.Version)
+	}
+	return hdr, nil
+}
+
+// ReadHeaderPath reads just the campaign header of either store kind,
+// without touching the observation data.
+func ReadHeaderPath(path string) (Header, error) {
+	if tsdb.IsStore(path) {
+		db, err := tsdb.Open(path, tsdb.Options{ReadOnly: true})
+		if err != nil {
+			return Header{}, err
+		}
+		defer db.Close()
+		return headerFromStore(db)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	return ReadHeader(f)
+}
+
+// ReplayPath replays either store kind into sinks. See Replay for the
+// round-reconstruction and ErrTruncated semantics.
+func ReplayPath(path string, sinks ...client.Sink) (Header, int64, error) {
+	return ReplayPathRange(path, minTime, maxTime, sinks...)
+}
+
+// ReplayPathRange replays rows with from ≤ time < to. On a tsdb store
+// this reads only the chunks overlapping the window; on a gzip recording
+// it streams the whole file and filters.
+func ReplayPathRange(path string, from, to int64, sinks ...client.Sink) (Header, int64, error) {
+	if tsdb.IsStore(path) {
+		return replayTSDBRange(path, from, to, sinks...)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, 0, err
+	}
+	defer f.Close()
+	return ReplayRange(f, from, to, sinks...)
+}
+
+func replayTSDBRange(dir string, from, to int64, sinks ...client.Sink) (Header, int64, error) {
+	db, err := tsdb.Open(dir, tsdb.Options{ReadOnly: true})
+	if err != nil {
+		return Header{}, 0, err
+	}
+	defer db.Close()
+	hdr, err := headerFromStore(db)
+	if err != nil {
+		return hdr, 0, err
+	}
+	rp := newRoundPlayer(hdr, sinks)
+	it := db.QueryAll(from, to)
+	var rec obsRec
+	for it.Next() {
+		rowToObs(it.Row(), &rec)
+		if err := rp.play(&rec); err != nil {
+			return hdr, rp.rounds, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		rp.finish()
+		// Damaged chunks behave like a truncated tail: partial data plus a
+		// sentinel the caller can tolerate.
+		return hdr, rp.rounds, fmt.Errorf("record: %v: %w", err, ErrTruncated)
+	}
+	rp.finish()
+	return hdr, rp.rounds, nil
+}
+
+// rowToObs converts a stored tsdb row back to the wire record shape.
+func rowToObs(row *tsdb.Row, rec *obsRec) {
+	rec.Time = row.Time
+	rec.Client = row.Series
+	rec.Gap = row.Gap
+	rec.Reason = row.Reason
+	rec.Types = rec.Types[:0]
+	for i := range row.Types {
+		t := &row.Types[i]
+		tr := typeRec{Type: t.Name, Surge: t.Surge, EWT: t.EWT}
+		for _, c := range t.Cars {
+			tr.Cars = append(tr.Cars, carRec{ID: c.ID, Lat: c.Lat, Lng: c.Lng})
+		}
+		rec.Types = append(rec.Types, tr)
+	}
+}
+
+// StoreBounds reports the [min, max] observation time range a tsdb store
+// holds. ok is false (with nil error) for an empty store or a gzip
+// recording, whose extent is only known after a full replay.
+func StoreBounds(path string) (minT, maxT int64, ok bool, err error) {
+	if !tsdb.IsStore(path) {
+		return 0, 0, false, nil
+	}
+	db, err := tsdb.Open(path, tsdb.Options{ReadOnly: true})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer db.Close()
+	minT, maxT, ok = db.Bounds()
+	return minT, maxT, ok, nil
+}
+
+// Convert copies a campaign between store kinds, direction inferred from
+// the input (tsdb directory → gzip file, gzip file → tsdb directory).
+// It returns the header and the number of rows copied.
+func Convert(in, out string, metrics *obs.Registry) (Header, int64, error) {
+	hdr, err := ReadHeaderPath(in)
+	if err != nil {
+		return hdr, 0, err
+	}
+	kind := StoreTSDB
+	if tsdb.IsStore(in) {
+		kind = StoreJSONL
+	}
+	w, err := Create(kind, out, hdr, metrics)
+	if err != nil {
+		return hdr, 0, err
+	}
+	if _, _, err := ReplayPath(in, w); err != nil {
+		w.Close()
+		return hdr, 0, err
+	}
+	if err := w.Close(); err != nil {
+		return hdr, 0, err
+	}
+	rows, _ := w.Written()
+	return hdr, rows, nil
+}

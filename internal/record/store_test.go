@@ -1,0 +1,379 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/tsdb"
+)
+
+// synthRound feeds one synthetic ping round (with an optional gap for
+// client gapIdx, -1 for none) into sinks the way a campaign would.
+func synthRound(rng *rand.Rand, sinks []client.Sink, now int64, nClients, gapIdx int) {
+	for c := 0; c < nClients; c++ {
+		if c == gapIdx {
+			for _, s := range sinks {
+				if gs, ok := s.(client.GapSink); ok {
+					gs.ObserveGap(c, geo.Point{}, now, errors.New("synthetic failure"))
+				}
+			}
+			continue
+		}
+		resp := &core.PingResponse{Time: now}
+		for p := 0; p < 2; p++ {
+			ts := core.TypeStatus{
+				Type:       core.VehicleType(p),
+				TypeName:   core.VehicleType(p).String(),
+				Surge:      1 + float64(rng.Intn(10))*0.1,
+				EWTSeconds: float64(60 + rng.Intn(500)),
+			}
+			for k := 0; k < rng.Intn(5); k++ {
+				ts.Cars = append(ts.Cars, core.CarView{
+					ID:  fmt.Sprintf("car-%d-%d", c, k),
+					Pos: geo.LatLng{Lat: 37.7 + rng.Float64()*0.1, Lng: -122.4 + rng.Float64()*0.1},
+				})
+			}
+			resp.Types = append(resp.Types, ts)
+		}
+		for _, s := range sinks {
+			s.Observe(c, geo.Point{}, resp)
+		}
+	}
+	for _, s := range sinks {
+		s.EndRound(now)
+	}
+}
+
+// rowCollector records the exact observation stream a replay delivers.
+type rowCollector struct {
+	lines []string
+}
+
+func (rc *rowCollector) Observe(clientIdx int, pos geo.Point, resp *core.PingResponse) {
+	line := fmt.Sprintf("obs c=%d t=%d", clientIdx, resp.Time)
+	for _, ts := range resp.Types {
+		line += fmt.Sprintf(" [%s s=%v e=%v", ts.TypeName, ts.Surge, ts.EWTSeconds)
+		for _, car := range ts.Cars {
+			line += fmt.Sprintf(" (%s %v %v)", car.ID, car.Pos.Lat, car.Pos.Lng)
+		}
+		line += "]"
+	}
+	rc.lines = append(rc.lines, line)
+}
+
+func (rc *rowCollector) ObserveGap(clientIdx int, pos geo.Point, lastSeen int64, err error) {
+	rc.lines = append(rc.lines, fmt.Sprintf("gap c=%d t=%d err=%v", clientIdx, lastSeen, err))
+}
+
+func (rc *rowCollector) EndRound(now int64) {
+	rc.lines = append(rc.lines, fmt.Sprintf("end t=%d", now))
+}
+
+// rounds splits a stream at its "end" lines, sorting each round's lines:
+// within a round the delivery order is not part of the format contract
+// (the gzip store appends buffered gap rows last, the tsdb store merges
+// by series id), so equivalence is per-round set equality in round order.
+func (rc *rowCollector) roundSets() [][]string {
+	var out [][]string
+	var cur []string
+	for _, l := range rc.lines {
+		cur = append(cur, l)
+		if len(l) >= 3 && l[:3] == "end" {
+			sort.Strings(cur)
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		sort.Strings(cur)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// dataLines returns a stream's observation and gap lines, without the
+// round-boundary markers.
+func dataLines(rc *rowCollector) []string {
+	var out []string
+	for _, l := range rc.lines {
+		if len(l) < 3 || l[:3] != "end" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func requireSameStream(t *testing.T, got, want *rowCollector) {
+	t.Helper()
+	g, w := got.roundSets(), want.roundSets()
+	if len(g) != len(w) {
+		t.Fatalf("stream has %d rounds, want %d", len(g), len(w))
+	}
+	for r := range w {
+		if len(g[r]) != len(w[r]) {
+			t.Fatalf("round %d has %d lines, want %d", r, len(g[r]), len(w[r]))
+		}
+		for i := range w[r] {
+			if g[r][i] != w[r][i] {
+				t.Fatalf("round %d diverges:\n got %s\nwant %s", r, g[r][i], w[r][i])
+			}
+		}
+	}
+}
+
+// writeBothStores runs the same synthetic campaign into a gzip recording
+// and a tsdb store, returning the recording bytes and the tsdb dir.
+func writeBothStores(t *testing.T, rounds int) ([]byte, string, Header) {
+	t.Helper()
+	hdr := Header{City: "sf", Start: 0, Clients: make([]geo.Point, 4)}
+	var buf bytes.Buffer
+	jw, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "campaign.tsdb")
+	tw, err := CreateTSDB(dir, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < rounds; i++ {
+		gapIdx := -1
+		if i%7 == 3 {
+			gapIdx = i % 4
+		}
+		synthRound(rng, []client.Sink{jw, tw}, int64(5+i*5), 4, gapIdx)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jr, jg := jw.Written()
+	tr, tg := tw.Written()
+	if jr == 0 || jg == 0 {
+		t.Fatalf("jsonl wrote rows=%d gaps=%d; want both > 0", jr, jg)
+	}
+	if jr != tr || jg != tg {
+		t.Fatalf("stores disagree: jsonl rows=%d gaps=%d, tsdb rows=%d gaps=%d", jr, jg, tr, tg)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), dir, hdr
+}
+
+// TestTSDBReplayMatchesJSONL is the store-equivalence pin: the exact
+// observation stream (every value, every gap, every round boundary) must
+// be identical whichever store served it.
+func TestTSDBReplayMatchesJSONL(t *testing.T) {
+	rec, dir, _ := writeBothStores(t, 40)
+
+	var fromJSONL, fromTSDB rowCollector
+	if _, _, err := Replay(bytes.NewReader(rec), &fromJSONL); err != nil {
+		t.Fatal(err)
+	}
+	hdr, rounds, err := ReplayPath(dir, &fromTSDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.City != "sf" || len(hdr.Clients) != 4 {
+		t.Fatalf("tsdb header = %+v", hdr)
+	}
+	if rounds != 40 {
+		t.Fatalf("tsdb replay rounds = %d, want 40", rounds)
+	}
+	requireSameStream(t, &fromTSDB, &fromJSONL)
+}
+
+func TestReplayPathRangeMatchesAcrossStores(t *testing.T) {
+	rec, dir, _ := writeBothStores(t, 40)
+	from, to := int64(50), int64(120)
+
+	var fromJSONL, fromTSDB rowCollector
+	if _, _, err := ReplayRange(bytes.NewReader(rec), from, to, &fromJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayPathRange(dir, from, to, &fromTSDB); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromJSONL.lines) == 0 {
+		t.Fatal("window selected nothing; widen the test range")
+	}
+	requireSameStream(t, &fromTSDB, &fromJSONL)
+	// The window excludes rounds outside [from, to).
+	var all rowCollector
+	if _, _, err := ReplayPath(dir, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.lines) <= len(fromTSDB.lines) {
+		t.Fatalf("window (%d lines) did not restrict the stream (%d lines)", len(fromTSDB.lines), len(all.lines))
+	}
+}
+
+func TestReadHeaderPath(t *testing.T) {
+	rec, dir, hdr := writeBothStores(t, 5)
+	for _, src := range []struct {
+		name string
+		get  func() (Header, error)
+	}{
+		{"jsonl-reader", func() (Header, error) { return ReadHeader(bytes.NewReader(rec)) }},
+		{"tsdb-path", func() (Header, error) { return ReadHeaderPath(dir) }},
+	} {
+		got, err := src.get()
+		if err != nil {
+			t.Fatalf("%s: %v", src.name, err)
+		}
+		if got.City != hdr.City || got.Version != Version || len(got.Clients) != len(hdr.Clients) {
+			t.Fatalf("%s: header = %+v", src.name, got)
+		}
+	}
+	// ReadHeaderPath also handles plain files.
+	f := filepath.Join(t.TempDir(), "c.jsonl.gz")
+	if err := os.WriteFile(f, rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadHeaderPath(f); err != nil || got.City != hdr.City {
+		t.Fatalf("file path header: %+v, %v", got, err)
+	}
+}
+
+// TestReplayTruncatedTail cuts a recording mid-stream: every complete row
+// before the damage must be delivered, with ErrTruncated as the verdict.
+func TestReplayTruncatedTail(t *testing.T) {
+	rec, _, _ := writeBothStores(t, 40)
+
+	var whole rowCollector
+	if _, _, err := Replay(bytes.NewReader(rec), &whole); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{len(rec) - 1, len(rec) * 3 / 4, len(rec) / 2} {
+		var partial rowCollector
+		hdr, rounds, err := Replay(bytes.NewReader(rec[:cut]), &partial)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d/%d: err = %v, want ErrTruncated", cut, len(rec), err)
+		}
+		if hdr.City != "sf" {
+			t.Fatalf("cut at %d: header lost: %+v", cut, hdr)
+		}
+		if rounds == 0 || len(partial.lines) == 0 {
+			t.Fatalf("cut at %d: no partial data delivered (rounds=%d lines=%d)", cut, rounds, len(partial.lines))
+		}
+		// The partial data lines are a prefix of the full stream's. ("end"
+		// lines are excluded: the truncated final round is closed early, and
+		// cutting only the gzip trailer can still deliver every row.)
+		pd, wd := dataLines(&partial), dataLines(&whole)
+		if len(pd) > len(wd) {
+			t.Fatalf("cut at %d: partial stream longer than whole (%d vs %d)", cut, len(pd), len(wd))
+		}
+		if cut <= len(rec)*3/4 && len(pd) >= len(wd) {
+			t.Fatalf("cut at %d: partial stream not shorter (%d vs %d)", cut, len(pd), len(wd))
+		}
+		for i := range pd {
+			if pd[i] != wd[i] {
+				t.Fatalf("cut at %d: partial stream diverges at data line %d", cut, i)
+			}
+		}
+	}
+	// Truncating inside the header is a hard error, not ErrTruncated.
+	if _, _, err := Replay(bytes.NewReader(rec[:4])); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("header truncation: err = %v", err)
+	}
+}
+
+func TestConvertBothWays(t *testing.T) {
+	rec, dir, _ := writeBothStores(t, 30)
+
+	// gzip file → tsdb directory.
+	tmp := t.TempDir()
+	src := filepath.Join(tmp, "c.jsonl.gz")
+	if err := os.WriteFile(src, rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	toTSDB := filepath.Join(tmp, "converted.tsdb")
+	if _, rows, err := Convert(src, toTSDB, nil); err != nil || rows == 0 {
+		t.Fatalf("convert to tsdb: rows=%d err=%v", rows, err)
+	}
+	// tsdb directory → gzip file.
+	toJSONL := filepath.Join(tmp, "back.jsonl.gz")
+	if _, rows, err := Convert(dir, toJSONL, nil); err != nil || rows == 0 {
+		t.Fatalf("convert to jsonl: rows=%d err=%v", rows, err)
+	}
+
+	var want, viaTSDB, viaJSONL rowCollector
+	if _, _, err := Replay(bytes.NewReader(rec), &want); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayPath(toTSDB, &viaTSDB); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayPath(toJSONL, &viaJSONL); err != nil {
+		t.Fatal(err)
+	}
+	requireSameStream(t, &viaTSDB, &want)
+	requireSameStream(t, &viaJSONL, &want)
+}
+
+// TestTSDBWriterResumesAfterCrash abandons a tsdb store without closing
+// it (the committed WAL is what a kill -9 leaves) and checks a replay
+// sees every committed round, then resumes the campaign on reopen.
+func TestTSDBWriterResumesAfterCrash(t *testing.T) {
+	hdr := Header{City: "sf", Start: 0, Clients: make([]geo.Point, 3)}
+	dir := filepath.Join(t.TempDir(), "crash.tsdb")
+	w, err := CreateTSDB(dir, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		synthRound(rng, []client.Sink{w}, int64(5+i*5), 3, -1)
+	}
+	// No Close: the store on disk is exactly what a crash leaves behind.
+
+	rep, err := tsdb.Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WALRows == 0 {
+		t.Fatal("verify found no WAL rows to recover")
+	}
+	var got rowCollector
+	if _, rounds, err := ReplayPath(dir, &got); err != nil || rounds != 10 {
+		t.Fatalf("replay after crash: rounds=%d err=%v", rounds, err)
+	}
+
+	// Reopen WITHOUT closing w — a clean Close would seal the head and
+	// leave nothing for recovery. The abandoned handles just leak until
+	// the test ends, as a crashed process's would.
+	w2, err := CreateTSDB(dir, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := w2.Written()
+	if rows == 0 {
+		t.Fatal("reopened writer does not count recovered rows")
+	}
+	synthRound(rng, []client.Sink{w2}, 5+10*5, 3, -1)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var resumed rowCollector
+	if _, rounds, err := ReplayPath(dir, &resumed); err != nil || rounds != 11 {
+		t.Fatalf("replay after resume: rounds=%d err=%v", rounds, err)
+	}
+}
+
+func TestCreateRejectsUnknownKind(t *testing.T) {
+	_, err := Create("parquet", filepath.Join(t.TempDir(), "x"), Header{}, nil)
+	if err == nil {
+		t.Fatal("unknown store kind accepted")
+	}
+}

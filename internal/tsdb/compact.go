@@ -1,0 +1,87 @@
+// Compaction and its crash-safety story.
+//
+// Compact streams every sealed segment into one merged file named for the
+// full seal-sequence range it covers (e.g. 00000001-00000007.seg), syncs
+// and renames it, then deletes the inputs. A crash at any point is safe:
+// before the rename the tmp file is ignored on open; after it, any input
+// whose range the merged file covers is detected as replaced and removed.
+// Input file handles stay open (in the graveyard) until the DB closes so
+// concurrent iterators keep reading the data they snapshotted.
+
+package tsdb
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Compact merges all sealed segments into one. It is also triggered in
+// the background when the segment count reaches CompactMinSegments.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	if len(db.segs) < 2 {
+		return nil
+	}
+	t0 := time.Now()
+	lo := db.segs[0].lo
+	hi := db.segs[len(db.segs)-1].hi
+	path := filepath.Join(db.segDir(), segFileName(lo, hi))
+	sw, err := newSegmentWriter(path, db.opts.ChunkRows)
+	if err != nil {
+		return err
+	}
+	// Union of series, ascending; per series the segments are already in
+	// time order (seal order + the monotonic append invariant).
+	set := make(map[int]bool)
+	for _, sr := range db.segs {
+		for _, s := range sr.series {
+			set[s] = true
+		}
+	}
+	series := make([]int, 0, len(set))
+	for s := range set {
+		series = append(series, s)
+	}
+	sort.Ints(series)
+	for _, s := range series {
+		for _, sr := range db.segs {
+			for _, e := range sr.bySeries[s] {
+				rows, err := sr.chunk(e)
+				if err != nil {
+					return err
+				}
+				if err := sw.add(s, rows); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := sw.finish(); err != nil {
+		return err
+	}
+	merged, err := openSegment(path, lo, hi)
+	if err != nil {
+		return err
+	}
+	for _, sr := range db.segs {
+		os.Remove(sr.path)
+		db.graveyard = append(db.graveyard, sr)
+	}
+	db.segs = []*segmentReader{merged}
+	db.m.compactDur.ObserveDuration(time.Since(t0))
+	db.updateGauges()
+	return nil
+}

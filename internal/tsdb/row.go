@@ -1,0 +1,132 @@
+// The row model: one observation of one series (campaign client) at one
+// timestamp, plus the flat binary encoding used by the write-ahead log.
+// The WAL favors encode speed and self-delimiting robustness over size;
+// the columnar chunk codec (block.go) is where compression happens.
+
+package tsdb
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Sanity caps applied when decoding untrusted bytes. Real campaign rows
+// carry ≤ 9 products × ≤ 8 cars; the caps are generous multiples so a
+// corrupt length prefix cannot drive an unbounded allocation.
+const (
+	maxTypesPerRow = 256
+	maxCarsPerType = 4096
+	maxRowsPerWAL  = 1 << 24
+)
+
+// Car is one visible vehicle: per-session randomized id and position.
+type Car struct {
+	ID       string
+	Lat, Lng float64
+}
+
+// TypeObs is one product's section of an observation.
+type TypeObs struct {
+	Name       string
+	Surge, EWT float64
+	Cars       []Car
+}
+
+// Row is one stored observation. A Gap row records a failed ping (an
+// explicit hole in the campaign, mirroring record's v2 gap rows) and
+// carries Reason instead of Types.
+type Row struct {
+	Time   int64
+	Series int
+	Gap    bool
+	Reason string
+	Types  []TypeObs
+}
+
+// appendRowBinary appends the flat encoding of r. It is the WAL record
+// payload and also the byte-equality witness used by tests: two rows are
+// identical iff their encodings are.
+func appendRowBinary(buf []byte, r *Row) []byte {
+	buf = binary.AppendUvarint(buf, zigzag(r.Time))
+	buf = binary.AppendUvarint(buf, uint64(r.Series))
+	if r.Gap {
+		buf = append(buf, 1)
+		return appendString(buf, r.Reason)
+	}
+	buf = append(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Types)))
+	for i := range r.Types {
+		t := &r.Types[i]
+		buf = appendString(buf, t.Name)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.Surge))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.EWT))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Cars)))
+		for _, c := range t.Cars {
+			buf = appendString(buf, c.ID)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Lat))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Lng))
+		}
+	}
+	return buf
+}
+
+// decodeRowBinary decodes one row from data, which must contain exactly
+// one encoded row (WAL records are length-prefixed externally).
+func decodeRowBinary(data []byte) (Row, error) {
+	r := &byteReader{b: data}
+	var row Row
+	row.Time = unzigzag(r.uvarint())
+	series := r.uvarint()
+	if series > math.MaxInt32 {
+		return Row{}, ErrCorrupt
+	}
+	row.Series = int(series)
+	switch r.byte() {
+	case 1:
+		row.Gap = true
+		row.Reason = r.str()
+		if r.err != nil || r.remaining() != 0 {
+			return Row{}, ErrCorrupt
+		}
+		return row, nil
+	case 0:
+	default:
+		// Only 0/1 are valid: the encoding must stay canonical (tests use
+		// it as a byte-equality witness).
+		return Row{}, ErrCorrupt
+	}
+	nTypes := r.uvarint()
+	// Each type costs ≥ 18 bytes (name prefix + two floats + car count).
+	if r.err != nil || nTypes > maxTypesPerRow || nTypes > uint64(r.remaining()/18+1) {
+		return Row{}, ErrCorrupt
+	}
+	if nTypes > 0 {
+		row.Types = make([]TypeObs, 0, nTypes)
+	}
+	for i := uint64(0); i < nTypes; i++ {
+		var t TypeObs
+		t.Name = r.str()
+		t.Surge = r.f64()
+		t.EWT = r.f64()
+		nCars := r.uvarint()
+		// Each car costs ≥ 17 bytes (id prefix + two floats).
+		if r.err != nil || nCars > maxCarsPerType || nCars > uint64(r.remaining()/17+1) {
+			return Row{}, ErrCorrupt
+		}
+		if nCars > 0 {
+			t.Cars = make([]Car, 0, nCars)
+		}
+		for j := uint64(0); j < nCars; j++ {
+			var c Car
+			c.ID = r.str()
+			c.Lat = r.f64()
+			c.Lng = r.f64()
+			t.Cars = append(t.Cars, c)
+		}
+		row.Types = append(row.Types, t)
+	}
+	if r.err != nil || r.remaining() != 0 {
+		return Row{}, ErrCorrupt
+	}
+	return row, nil
+}

@@ -1,0 +1,401 @@
+// Sealed immutable segment files.
+//
+// Layout:
+//
+//	magic "TSDBSEG1"                          (8 bytes)
+//	chunk*: payload ‖ crc32(payload)          (offsets recorded in index)
+//	index:  per-chunk (series, offset, len, minT, maxT, rows)
+//	footer: indexOff u64 ‖ indexLen u32 ‖ indexCRC u32 ‖
+//	        fileCRC u32 ‖ magic u32           (24 bytes, little-endian)
+//
+// fileCRC covers every byte before it, so tsdbtool verify detects a single
+// flipped byte anywhere in the file; per-chunk CRCs localize the damage
+// and protect normal reads without re-hashing the whole file.
+//
+// The index is the sparse time index: chunks are ≤ chunkRows rows, so
+// Query(series, from, to) binary-searches the per-series chunk list and
+// decodes only chunks overlapping [from, to).
+//
+// File names are <lo>-<hi>.seg where lo..hi is the range of seal sequence
+// numbers the file covers (lo == hi for a freshly sealed head; wider after
+// compaction). A file whose range is contained in another's is an
+// already-replaced compaction input left behind by a crash and is ignored.
+
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	segMagic    = "TSDBSEG1"
+	footerMagic = uint32(0x42445354) // "TSDB"
+	footerSize  = 24
+)
+
+type chunkEntry struct {
+	series     int
+	offset     uint64 // of the payload, from file start
+	length     uint64 // payload bytes (CRC excluded)
+	minT, maxT int64
+	rows       uint64
+}
+
+// ---- writer ----
+
+// crcFileWriter tracks a running CRC and offset over everything written.
+type crcFileWriter struct {
+	w   *os.File
+	buf []byte
+	crc uint32
+	off uint64
+}
+
+func (c *crcFileWriter) write(p []byte) error {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	c.off += uint64(len(p))
+	c.buf = append(c.buf, p...)
+	if len(c.buf) >= 1<<20 {
+		return c.flush()
+	}
+	return nil
+}
+
+func (c *crcFileWriter) flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	_, err := c.w.Write(c.buf)
+	c.buf = c.buf[:0]
+	return err
+}
+
+// segmentWriter streams per-series row runs into a segment file. Rows for
+// a series must arrive in time order, and series in ascending order.
+type segmentWriter struct {
+	cw        *crcFileWriter
+	path, tmp string
+	chunkRows int
+	entries   []chunkEntry
+	curSeries int
+	buf       []Row
+	rows      uint64
+}
+
+func newSegmentWriter(path string, chunkRows int) (*segmentWriter, error) {
+	if chunkRows <= 0 {
+		chunkRows = defaultChunkRows
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	sw := &segmentWriter{
+		cw:        &crcFileWriter{w: f},
+		path:      path,
+		tmp:       tmp,
+		chunkRows: chunkRows,
+		curSeries: -1,
+	}
+	if err := sw.cw.write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *segmentWriter) add(series int, rows []Row) error {
+	if series != sw.curSeries {
+		if series < sw.curSeries {
+			return fmt.Errorf("tsdb: segment writer: series out of order")
+		}
+		if err := sw.flushChunk(); err != nil {
+			return err
+		}
+		sw.curSeries = series
+	}
+	for len(rows) > 0 {
+		n := sw.chunkRows - len(sw.buf)
+		if n > len(rows) {
+			n = len(rows)
+		}
+		sw.buf = append(sw.buf, rows[:n]...)
+		rows = rows[n:]
+		if len(sw.buf) >= sw.chunkRows {
+			if err := sw.flushChunk(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (sw *segmentWriter) flushChunk() error {
+	if len(sw.buf) == 0 {
+		return nil
+	}
+	payload := encodeChunk(sw.buf)
+	e := chunkEntry{
+		series: sw.curSeries,
+		offset: sw.cw.off,
+		length: uint64(len(payload)),
+		minT:   sw.buf[0].Time,
+		maxT:   sw.buf[len(sw.buf)-1].Time,
+		rows:   uint64(len(sw.buf)),
+	}
+	if err := sw.cw.write(payload); err != nil {
+		return err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(payload))
+	if err := sw.cw.write(crcb[:]); err != nil {
+		return err
+	}
+	sw.entries = append(sw.entries, e)
+	sw.rows += uint64(len(sw.buf))
+	sw.buf = sw.buf[:0]
+	return nil
+}
+
+// finish writes the index and footer, fsyncs, and atomically renames the
+// temp file into place.
+func (sw *segmentWriter) finish() (retErr error) {
+	defer func() {
+		if retErr != nil {
+			sw.cw.w.Close()
+			os.Remove(sw.tmp)
+		}
+	}()
+	if err := sw.flushChunk(); err != nil {
+		return err
+	}
+	var idx []byte
+	idx = binary.AppendUvarint(idx, uint64(len(sw.entries)))
+	for _, e := range sw.entries {
+		idx = binary.AppendUvarint(idx, uint64(e.series))
+		idx = binary.AppendUvarint(idx, e.offset)
+		idx = binary.AppendUvarint(idx, e.length)
+		idx = binary.AppendUvarint(idx, zigzag(e.minT))
+		idx = binary.AppendUvarint(idx, zigzag(e.maxT))
+		idx = binary.AppendUvarint(idx, e.rows)
+	}
+	idxOff := sw.cw.off
+	if err := sw.cw.write(idx); err != nil {
+		return err
+	}
+	var ftr [footerSize]byte
+	binary.LittleEndian.PutUint64(ftr[0:], idxOff)
+	binary.LittleEndian.PutUint32(ftr[8:], uint32(len(idx)))
+	binary.LittleEndian.PutUint32(ftr[12:], crc32.ChecksumIEEE(idx))
+	// The file CRC covers everything up to and including the first 16
+	// footer bytes; the final 8 bytes are the CRC itself plus the magic.
+	if err := sw.cw.write(ftr[:16]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(ftr[16:], sw.cw.crc)
+	binary.LittleEndian.PutUint32(ftr[20:], footerMagic)
+	sw.cw.buf = append(sw.cw.buf, ftr[16:]...)
+	if err := sw.cw.flush(); err != nil {
+		return err
+	}
+	if err := sw.cw.w.Sync(); err != nil {
+		return err
+	}
+	if err := sw.cw.w.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(sw.tmp, sw.path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(sw.path))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable;
+// best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// ---- reader ----
+
+type segmentReader struct {
+	f      *os.File
+	path   string
+	lo, hi uint64 // seal-sequence range from the file name
+	size   int64
+	rows   uint64
+	minT   int64
+	maxT   int64
+	// bySeries maps series → its chunk entries in time order.
+	bySeries map[int][]chunkEntry
+	series   []int // sorted
+}
+
+// openSegment reads and validates the footer and index. Chunk payloads are
+// read lazily; their CRCs are checked on every read.
+func openSegment(path string, lo, hi uint64) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sr := &segmentReader{f: f, path: path, lo: lo, hi: hi, bySeries: make(map[int][]chunkEntry)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sr.size = st.Size()
+	if sr.size < int64(len(segMagic))+footerSize {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %s: too short: %w", path, ErrCorrupt)
+	}
+	var ftr [footerSize]byte
+	if _, err := f.ReadAt(ftr[:], sr.size-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(ftr[20:]) != footerMagic {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %s: bad footer magic: %w", path, ErrCorrupt)
+	}
+	idxOff := binary.LittleEndian.Uint64(ftr[0:])
+	idxLen := binary.LittleEndian.Uint32(ftr[8:])
+	idxCRC := binary.LittleEndian.Uint32(ftr[12:])
+	if idxOff < uint64(len(segMagic)) || idxOff+uint64(idxLen) != uint64(sr.size)-footerSize {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %s: bad index bounds: %w", path, ErrCorrupt)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := f.ReadAt(idx, int64(idxOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(idx) != idxCRC {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %s: index CRC mismatch: %w", path, ErrCorrupt)
+	}
+	r := &byteReader{b: idx}
+	n := r.uvarint()
+	if r.err != nil || n > uint64(len(idx)) {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: %s: bad index: %w", path, ErrCorrupt)
+	}
+	sr.minT, sr.maxT = int64(1)<<62, -(int64(1) << 62)
+	for i := uint64(0); i < n; i++ {
+		e := chunkEntry{
+			series: int(r.uvarint()),
+			offset: r.uvarint(),
+			length: r.uvarint(),
+			minT:   r.varint(),
+			maxT:   r.varint(),
+			rows:   r.uvarint(),
+		}
+		if r.err != nil || e.offset+e.length+4 > idxOff || e.rows == 0 {
+			f.Close()
+			return nil, fmt.Errorf("tsdb: %s: bad index entry: %w", path, ErrCorrupt)
+		}
+		if _, seen := sr.bySeries[e.series]; !seen {
+			sr.series = append(sr.series, e.series)
+		}
+		sr.bySeries[e.series] = append(sr.bySeries[e.series], e)
+		sr.rows += e.rows
+		if e.minT < sr.minT {
+			sr.minT = e.minT
+		}
+		if e.maxT > sr.maxT {
+			sr.maxT = e.maxT
+		}
+	}
+	sort.Ints(sr.series)
+	return sr, nil
+}
+
+// chunk reads, CRC-checks, and decodes one chunk.
+func (sr *segmentReader) chunk(e chunkEntry) ([]Row, error) {
+	buf := make([]byte, e.length+4)
+	if _, err := sr.f.ReadAt(buf, int64(e.offset)); err != nil {
+		return nil, fmt.Errorf("tsdb: %s: read chunk at %d: %w", sr.path, e.offset, err)
+	}
+	payload := buf[:e.length]
+	want := binary.LittleEndian.Uint32(buf[e.length:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("tsdb: %s: chunk CRC mismatch at offset %d: %w", sr.path, e.offset, ErrCorrupt)
+	}
+	rows, err := decodeChunk(payload, e.series)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %s: chunk at offset %d: %w", sr.path, e.offset, err)
+	}
+	if uint64(len(rows)) != e.rows {
+		return nil, fmt.Errorf("tsdb: %s: chunk at offset %d: row count mismatch: %w", sr.path, e.offset, ErrCorrupt)
+	}
+	return rows, nil
+}
+
+// overlapping returns the chunk entries of series that intersect [from, to).
+func (sr *segmentReader) overlapping(series int, from, to int64) []chunkEntry {
+	entries := sr.bySeries[series]
+	// Entries are in time order; find the first with maxT >= from.
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].maxT >= from })
+	j := i
+	for j < len(entries) && entries[j].minT < to {
+		j++
+	}
+	return entries[i:j]
+}
+
+func (sr *segmentReader) close() error { return sr.f.Close() }
+
+// verifyFileCRC re-reads the whole file and checks the footer CRC: the
+// single-flipped-byte detector behind `tsdbtool verify`.
+func (sr *segmentReader) verifyFileCRC() error {
+	if _, err := sr.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.CopyN(h, sr.f, sr.size-8); err != nil {
+		return err
+	}
+	var tail [8]byte
+	if _, err := sr.f.ReadAt(tail[:], sr.size-8); err != nil {
+		return err
+	}
+	if h.Sum32() != binary.LittleEndian.Uint32(tail[:4]) {
+		return fmt.Errorf("tsdb: %s: file CRC mismatch: %w", sr.path, ErrCorrupt)
+	}
+	return nil
+}
+
+// ---- file naming ----
+
+func segFileName(lo, hi uint64) string { return fmt.Sprintf("%08d-%08d.seg", lo, hi) }
+
+// parseSegName parses "<lo>-<hi>.seg"; ok is false for anything else.
+func parseSegName(name string) (lo, hi uint64, ok bool) {
+	base, found := strings.CutSuffix(name, ".seg")
+	if !found {
+		return 0, 0, false
+	}
+	loS, hiS, found := strings.Cut(base, "-")
+	if !found {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(loS, "%d", &lo); err != nil {
+		return 0, 0, false
+	}
+	if _, err := fmt.Sscanf(hiS, "%d", &hi); err != nil {
+		return 0, 0, false
+	}
+	return lo, hi, lo <= hi
+}

@@ -1,0 +1,606 @@
+// Package tsdb is an embedded append-only time-series store purpose-built
+// for measurement campaigns: the paper's workflow is "collect hundreds of
+// gigabytes of pingClient responses for four weeks, analyze offline", and
+// at that scale storage footprint, crash safety, and query speed dominate.
+//
+// A DB is a directory:
+//
+//	META.json   version + opaque application header (the campaign header)
+//	wal/        fsync-batched write-ahead log guarding the in-memory head
+//	seg/        sealed immutable segments: per-series columnar chunks
+//	            (delta-of-delta timestamps, Gorilla XOR floats, dictionary
+//	            car ids), a sparse time index, and CRC32 footers
+//
+// Writes append to the WAL and an in-memory head; when the head reaches
+// HeadMaxRows it is sealed into a segment and the WAL rotates. Opening a
+// crashed DB replays the WAL, so acknowledged (committed) rows survive.
+// Query(series, from, to) walks only the chunks overlapping the window;
+// background compaction merges small segments and an optional retention
+// policy drops segments past a time horizon.
+package tsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FormatVersion is the on-disk format version recorded in META.json.
+const FormatVersion = 1
+
+// ErrOutOfOrder is returned by Append when a row's timestamp precedes the
+// series' last appended timestamp (campaign time is monotonic).
+var ErrOutOfOrder = errors.New("tsdb: append out of time order")
+
+// ErrReadOnly is returned by mutating operations on a read-only DB.
+var ErrReadOnly = errors.New("tsdb: database is read-only")
+
+// Options configures Open. The zero value is a writable DB with defaults.
+type Options struct {
+	// ReadOnly opens without creating or mutating anything on disk (no WAL
+	// truncation, no sealing); used by verification and offline analysis.
+	ReadOnly bool
+	// Extra is an opaque application blob stored in META.json on first
+	// creation (the campaign recording header).
+	Extra json.RawMessage
+	// HeadMaxRows seals the head into a segment when it reaches this many
+	// rows. Default 65536 (~127 campaign rounds of 43 clients × 12 rows).
+	HeadMaxRows int
+	// ChunkRows bounds rows per columnar chunk (the sparse-index
+	// granularity). Default 512.
+	ChunkRows int
+	// SyncEveryCommits fsyncs the WAL on every Nth Commit (default 1:
+	// every commit, i.e. one fsync per ping round). Negative disables
+	// periodic fsync; sealing and Close still sync.
+	SyncEveryCommits int
+	// CompactMinSegments triggers background compaction when the sealed
+	// segment count reaches it. Default 8; negative disables.
+	CompactMinSegments int
+	// RetainSeconds drops sealed segments whose newest row is older than
+	// the store's newest row by more than this. 0 keeps everything.
+	RetainSeconds int64
+	// Metrics receives tsdb gauges/histograms; nil disables (all obs
+	// handles are nil-safe).
+	Metrics *obs.Registry
+}
+
+func (o *Options) defaults() {
+	if o.HeadMaxRows == 0 {
+		o.HeadMaxRows = 65536
+	}
+	if o.ChunkRows == 0 {
+		o.ChunkRows = defaultChunkRows
+	}
+	if o.SyncEveryCommits == 0 {
+		o.SyncEveryCommits = 1
+	}
+	if o.CompactMinSegments == 0 {
+		o.CompactMinSegments = 8
+	}
+}
+
+// Meta is the content of META.json.
+type Meta struct {
+	Version int             `json:"version"`
+	Extra   json.RawMessage `json:"extra,omitempty"`
+}
+
+// DB is one open store. All methods are safe for concurrent use.
+type DB struct {
+	dir  string
+	opts Options
+	m    *metrics
+
+	mu        sync.Mutex
+	meta      Meta
+	segs      []*segmentReader // sorted by lo, non-overlapping
+	graveyard []*segmentReader // replaced/retired files kept open for live iterators
+	wal       *walWriter
+	head      map[int][]Row
+	headRows  int
+	headRaw   uint64 // WAL payload bytes backing the head (compression baseline)
+	lastTime  map[int]int64
+	recovered int
+	commits   uint64
+	closed    bool
+
+	compacting atomic.Bool
+	wg         sync.WaitGroup
+}
+
+func (db *DB) segDir() string  { return filepath.Join(db.dir, "seg") }
+func (db *DB) walPath() string { return filepath.Join(db.dir, "wal", "head.wal") }
+
+// IsStore reports whether dir looks like a tsdb store (has a META.json).
+func IsStore(dir string) bool {
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(dir, "META.json"))
+	return err == nil
+}
+
+// Open opens (creating if needed, unless read-only) the store at dir and
+// replays any write-ahead log left by a crash.
+func Open(dir string, opts Options) (*DB, error) {
+	opts.defaults()
+	db := &DB{
+		dir:      dir,
+		opts:     opts,
+		m:        newMetrics(opts.Metrics),
+		head:     make(map[int][]Row),
+		lastTime: make(map[int]int64),
+	}
+	if !opts.ReadOnly {
+		for _, d := range []string{dir, db.segDir(), filepath.Join(dir, "wal")} {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := db.loadMeta(); err != nil {
+		return nil, err
+	}
+	if err := db.loadSegments(); err != nil {
+		db.closeAll()
+		return nil, err
+	}
+	if err := db.recoverWAL(); err != nil {
+		db.closeAll()
+		return nil, err
+	}
+	db.updateGauges()
+	return db, nil
+}
+
+func (db *DB) loadMeta() error {
+	path := filepath.Join(db.dir, "META.json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if db.opts.ReadOnly {
+			return fmt.Errorf("tsdb: %s: not a store (no META.json)", db.dir)
+		}
+		db.meta = Meta{Version: FormatVersion, Extra: db.opts.Extra}
+		blob, err := json.Marshal(db.meta)
+		if err != nil {
+			return err
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+		syncDir(db.dir)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &db.meta); err != nil {
+		return fmt.Errorf("tsdb: %s: META.json: %w", db.dir, err)
+	}
+	if db.meta.Version != FormatVersion {
+		return fmt.Errorf("tsdb: %s: unsupported format version %d", db.dir, db.meta.Version)
+	}
+	return nil
+}
+
+// listSegFiles returns the live segment files in dir sorted by lo, after
+// dropping files whose seal range another file covers (compaction inputs a
+// crash left behind). Covered files are deleted unless readOnly.
+func listSegFiles(segDir string, readOnly bool) ([]segFile, error) {
+	ents, err := os.ReadDir(segDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var files []segFile
+	for _, e := range ents {
+		if lo, hi, ok := parseSegName(e.Name()); ok {
+			files = append(files, segFile{filepath.Join(segDir, e.Name()), lo, hi})
+		}
+	}
+	live := files[:0]
+	for _, f := range files {
+		covered := false
+		for _, g := range files {
+			if g.path != f.path && g.lo <= f.lo && f.hi <= g.hi && (g.hi-g.lo) > (f.hi-f.lo) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			if !readOnly {
+				os.Remove(f.path)
+			}
+			continue
+		}
+		live = append(live, f)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].lo < live[j].lo })
+	for i := 1; i < len(live); i++ {
+		if live[i].lo <= live[i-1].hi {
+			return nil, fmt.Errorf("tsdb: overlapping segments %s and %s: %w",
+				live[i-1].path, live[i].path, ErrCorrupt)
+		}
+	}
+	return live, nil
+}
+
+type segFile struct {
+	path   string
+	lo, hi uint64
+}
+
+func (db *DB) loadSegments() error {
+	files, err := listSegFiles(db.segDir(), db.opts.ReadOnly)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		sr, err := openSegment(f.path, f.lo, f.hi)
+		if err != nil {
+			return err
+		}
+		db.segs = append(db.segs, sr)
+	}
+	return nil
+}
+
+func (db *DB) maxSealedSeq() uint64 {
+	if len(db.segs) == 0 {
+		return 0
+	}
+	return db.segs[len(db.segs)-1].hi
+}
+
+// noteTime records a series' newest stored timestamp for the monotonic
+// append check (t=0 is a valid campaign time, hence the presence map).
+func (db *DB) noteTime(series int, t int64) {
+	if last, ok := db.lastTime[series]; !ok || t > last {
+		db.lastTime[series] = t
+	}
+}
+
+func (db *DB) recoverWAL() error {
+	for _, sr := range db.segs {
+		for s, entries := range sr.bySeries {
+			db.noteTime(s, entries[len(entries)-1].maxT)
+		}
+	}
+	nextSeq := db.maxSealedSeq() + 1
+	res, err := scanWAL(db.walPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		res = nil
+	case err != nil:
+		// A torn header means the crash happened during WAL creation,
+		// before any record could have been acknowledged: start fresh.
+		res = nil
+	case res.seq <= db.maxSealedSeq():
+		// Stale WAL: its head was already sealed durably, the crash hit
+		// between segment rename and WAL rotation. Discard, no replay.
+		res = nil
+	}
+	if res != nil {
+		for _, row := range res.rows {
+			db.head[row.Series] = append(db.head[row.Series], row)
+			db.noteTime(row.Series, row.Time)
+		}
+		db.headRows = len(res.rows)
+		if res.goodSize > walHeaderSize {
+			db.headRaw = uint64(res.goodSize-walHeaderSize) - 8*uint64(len(res.rows))
+		}
+		db.recovered = len(res.rows)
+		if res.seq >= nextSeq {
+			nextSeq = res.seq
+		}
+	}
+	if db.opts.ReadOnly {
+		return nil
+	}
+	if res != nil {
+		w, err := resumeWAL(db.walPath(), res)
+		if err != nil {
+			return err
+		}
+		db.wal = w
+		return nil
+	}
+	w, err := createWAL(db.walPath(), nextSeq)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	return nil
+}
+
+// Extra returns the application blob stored at creation.
+func (db *DB) Extra() json.RawMessage { return db.meta.Extra }
+
+// Recovered returns how many rows were replayed from the WAL at Open — the
+// rows a crash would otherwise have lost.
+func (db *DB) Recovered() int { return db.recovered }
+
+// Append stores one row. Rows of a series must arrive in non-decreasing
+// time order. The row is durable after the next Commit (or seal).
+func (db *DB) Append(row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("tsdb: database closed")
+	}
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if last, ok := db.lastTime[row.Series]; ok && row.Time < last {
+		return fmt.Errorf("%w: series %d: %d < %d", ErrOutOfOrder, row.Series, row.Time, last)
+	}
+	before := db.wal.bytes
+	if err := db.wal.append(&row); err != nil {
+		return err
+	}
+	db.m.walBytes.Add(int64(db.wal.bytes - before))
+	db.headRaw += db.wal.bytes - before - 8
+	db.head[row.Series] = append(db.head[row.Series], row)
+	db.lastTime[row.Series] = row.Time
+	db.headRows++
+	db.m.rows.Inc()
+	if row.Gap {
+		db.m.gapRows.Inc()
+	}
+	if db.headRows >= db.opts.HeadMaxRows {
+		return db.sealLocked()
+	}
+	return nil
+}
+
+// Commit marks a batch boundary (the campaign calls it once per ping
+// round): the WAL is flushed, and fsynced per the sync policy, making
+// everything appended so far crash-durable.
+func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed || db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	db.commits++
+	if db.opts.SyncEveryCommits > 0 && db.commits%uint64(db.opts.SyncEveryCommits) == 0 {
+		t0 := time.Now()
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+		db.m.walFsync.ObserveDuration(time.Since(t0))
+		return nil
+	}
+	return db.wal.flush()
+}
+
+// Seal flushes the in-memory head into a sealed segment.
+func (db *DB) Seal() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed || db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	return db.sealLocked()
+}
+
+func (db *DB) sealLocked() error {
+	if db.headRows == 0 {
+		return nil
+	}
+	seq := db.wal.seq
+	path := filepath.Join(db.segDir(), segFileName(seq, seq))
+	sw, err := newSegmentWriter(path, db.opts.ChunkRows)
+	if err != nil {
+		return err
+	}
+	for _, s := range sortedSeries(db.head) {
+		if err := sw.add(s, db.head[s]); err != nil {
+			return err
+		}
+	}
+	if err := sw.finish(); err != nil {
+		return err
+	}
+	sr, err := openSegment(path, seq, seq)
+	if err != nil {
+		return err
+	}
+	db.segs = append(db.segs, sr)
+	db.m.segBytes.Add(sr.size)
+	db.m.bytesPerRow.Set(float64(sr.size) / float64(sr.rows))
+	if sr.size > 0 {
+		db.m.ratio.Set(float64(db.headRaw) / float64(sr.size))
+	}
+	// The segment is durable; rotate the WAL.
+	db.wal.close()
+	w, err := createWAL(db.walPath(), seq+1)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.head = make(map[int][]Row)
+	db.headRows = 0
+	db.headRaw = 0
+	db.applyRetentionLocked()
+	db.updateGauges()
+	if db.opts.CompactMinSegments > 0 && len(db.segs) >= db.opts.CompactMinSegments &&
+		db.compacting.CompareAndSwap(false, true) {
+		db.wg.Add(1)
+		go func() {
+			defer db.wg.Done()
+			defer db.compacting.Store(false)
+			db.Compact()
+		}()
+	}
+	return nil
+}
+
+func (db *DB) applyRetentionLocked() {
+	if db.opts.RetainSeconds <= 0 {
+		return
+	}
+	_, maxT, ok := db.boundsLocked()
+	if !ok {
+		return
+	}
+	cutoff := maxT - db.opts.RetainSeconds
+	live := db.segs[:0]
+	for _, sr := range db.segs {
+		if sr.maxT < cutoff {
+			os.Remove(sr.path)
+			db.graveyard = append(db.graveyard, sr)
+			db.m.retentionDrops.Inc()
+			continue
+		}
+		live = append(live, sr)
+	}
+	db.segs = live
+}
+
+func sortedSeries(head map[int][]Row) []int {
+	out := make([]int, 0, len(head))
+	for s := range head {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (db *DB) boundsLocked() (minT, maxT int64, ok bool) {
+	minT, maxT = int64(1)<<62, -(int64(1) << 62)
+	for _, sr := range db.segs {
+		if sr.minT < minT {
+			minT = sr.minT
+		}
+		if sr.maxT > maxT {
+			maxT = sr.maxT
+		}
+		ok = true
+	}
+	for _, rows := range db.head {
+		if len(rows) == 0 {
+			continue
+		}
+		if t := rows[0].Time; t < minT {
+			minT = t
+		}
+		if t := rows[len(rows)-1].Time; t > maxT {
+			maxT = t
+		}
+		ok = true
+	}
+	return minT, maxT, ok
+}
+
+// Bounds returns the time range currently stored ([min, max], inclusive);
+// ok is false for an empty store.
+func (db *DB) Bounds() (minT, maxT int64, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.boundsLocked()
+}
+
+// Series returns the stored series ids, ascending.
+func (db *DB) Series() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	set := make(map[int]bool)
+	for _, sr := range db.segs {
+		for _, s := range sr.series {
+			set[s] = true
+		}
+	}
+	for s, rows := range db.head {
+		if len(rows) > 0 {
+			set[s] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stats summarizes the store.
+type Stats struct {
+	Segments     int
+	SegmentBytes int64
+	SegmentRows  int64
+	HeadRows     int
+	WALBytes     int64
+	Recovered    int
+	MinTime      int64
+	MaxTime      int64
+	HasData      bool
+}
+
+// Stats returns a point-in-time summary.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := Stats{Segments: len(db.segs), HeadRows: db.headRows, Recovered: db.recovered}
+	for _, sr := range db.segs {
+		st.SegmentBytes += sr.size
+		st.SegmentRows += int64(sr.rows)
+	}
+	if db.wal != nil {
+		st.WALBytes = int64(db.wal.bytes)
+	}
+	st.MinTime, st.MaxTime, st.HasData = db.boundsLocked()
+	return st
+}
+
+func (db *DB) updateGauges() {
+	db.m.segments.Set(float64(len(db.segs)))
+	db.m.headRows.Set(float64(db.headRows))
+}
+
+func (db *DB) closeAll() {
+	for _, sr := range db.segs {
+		sr.close()
+	}
+	for _, sr := range db.graveyard {
+		sr.close()
+	}
+	db.segs, db.graveyard = nil, nil
+	if db.wal != nil {
+		db.wal.close()
+		db.wal = nil
+	}
+}
+
+// Close seals any buffered head rows (so a cleanly closed store recovers
+// nothing from the WAL) and releases all file handles.
+func (db *DB) Close() error {
+	db.wg.Wait() // let a background compaction finish
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	var err error
+	if !db.opts.ReadOnly {
+		err = db.sealLocked()
+	}
+	db.closeAll()
+	db.closed = true
+	return err
+}

@@ -1,0 +1,581 @@
+package tsdb
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collect drains an iterator, copying each row.
+func collect(t *testing.T, it *Iterator) []Row {
+	t.Helper()
+	var out []Row
+	for it.Next() {
+		out = append(out, *it.Row())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	return out
+}
+
+// requireByteEqual asserts two row slices are identical under the
+// canonical binary encoding — the acceptance bar for round trips.
+func requireByteEqual(t *testing.T, got, want []Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	var a, b []byte
+	for i := range want {
+		a = appendRowBinary(a[:0], &got[i])
+		b = appendRowBinary(b[:0], &want[i])
+		if string(a) != string(b) {
+			t.Fatalf("row %d not byte-equal:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// campaign writes n rounds of nSeries clients (5s ping clock, occasional
+// gap rows) into db, committing once per round like the measurement loop.
+func campaign(t *testing.T, db *DB, rng *rand.Rand, nSeries, rounds int, start int64) []Row {
+	t.Helper()
+	var all []Row
+	perSeries := make(map[int][]Row)
+	for s := 0; s < nSeries; s++ {
+		perSeries[s] = randomRows(rng, s, rounds, start)
+	}
+	for i := 0; i < rounds; i++ {
+		for s := 0; s < nSeries; s++ {
+			row := perSeries[s][i]
+			if err := db.Append(row); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			all = append(all, row)
+		}
+		if err := db.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	return all
+}
+
+// crash drops the DB's file handles without sealing or flushing buffered
+// WAL bytes — what a kill -9 leaves behind.
+func crash(db *DB) {
+	db.wg.Wait()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, sr := range db.segs {
+		sr.close()
+	}
+	for _, sr := range db.graveyard {
+		sr.close()
+	}
+	if db.wal != nil {
+		db.wal.f.Close() // bufio buffer is lost, like an OS crash
+		db.wal = nil
+	}
+	db.segs, db.graveyard = nil, nil
+	db.closed = true
+}
+
+func TestRoundTripCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Extra: []byte(`{"city":"sf"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	want := campaign(t, db, rng, 5, 300, 0)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Recovered() != 0 {
+		t.Fatalf("clean close recovered %d rows from WAL, want 0", db2.Recovered())
+	}
+	if string(db2.Extra()) != `{"city":"sf"}` {
+		t.Fatalf("Extra = %s", db2.Extra())
+	}
+	got := collect(t, db2.QueryAll(-1<<62, 1<<62))
+	requireByteEqual(t, got, want)
+
+	// Per-series queries return the same rows partitioned by series.
+	var bySeries []Row
+	for _, s := range db2.Series() {
+		bySeries = append(bySeries, collect(t, db2.Query(s, -1<<62, 1<<62))...)
+	}
+	if len(bySeries) != len(want) {
+		t.Fatalf("per-series total %d, want %d", len(bySeries), len(want))
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Small head so some rows are sealed and some live only in the WAL.
+	db, err := Open(dir, Options{HeadMaxRows: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	want := campaign(t, db, rng, 4, 250, 0)
+	// A few appends after the last commit: buffered only, lost in the crash.
+	lost := Row{Time: 1e9, Series: 0, Gap: true, Reason: "uncommitted"}
+	if err := db.Append(lost); err != nil {
+		t.Fatal(err)
+	}
+	crash(db)
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Recovered() == 0 {
+		t.Fatal("crash recovery replayed 0 WAL rows; test should exercise the WAL")
+	}
+	got := collect(t, db2.QueryAll(-1<<62, 1<<62))
+	requireByteEqual(t, got, want)
+}
+
+func TestCrashAllInWAL(t *testing.T) {
+	// Everything in the head: no segment ever sealed.
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	want := campaign(t, db, rng, 3, 40, 100)
+	crash(db)
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Recovered() != len(want) {
+		t.Fatalf("recovered %d rows, want %d", db2.Recovered(), len(want))
+	}
+	requireByteEqual(t, collect(t, db2.QueryAll(-1<<62, 1<<62)), want)
+}
+
+func TestTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	want := campaign(t, db, rng, 2, 30, 0)
+	crash(db)
+
+	// Tear the tail mid-record, as if the machine died during a write.
+	walPath := filepath.Join(dir, "wal", "head.wal")
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, st.Size()-11); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, db2.QueryAll(-1<<62, 1<<62))
+	// The torn record (and only it) is gone.
+	if len(got) != len(want)-1 {
+		t.Fatalf("got %d rows after torn tail, want %d", len(got), len(want)-1)
+	}
+	requireByteEqual(t, got, want[:len(got)])
+	// The store keeps working after recovery.
+	next := Row{Time: want[len(want)-1].Time + 5, Series: 0}
+	if err := db2.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleWALDiscarded(t *testing.T) {
+	// Simulate a crash between segment rename and WAL rotation: the WAL's
+	// seq names a segment that already exists, so replaying it would
+	// duplicate every row.
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	want := campaign(t, db, rng, 2, 50, 0)
+	if err := db.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	sealedSeq := db.maxSealedSeq()
+	crash(db)
+
+	// Fabricate the pre-rotation WAL: same seq as the sealed segment,
+	// holding the same rows.
+	w, err := createWAL(filepath.Join(dir, "wal", "head.wal"), sealedSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if err := w.append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Recovered() != 0 {
+		t.Fatalf("stale WAL replayed %d rows, want 0", db2.Recovered())
+	}
+	requireByteEqual(t, collect(t, db2.QueryAll(-1<<62, 1<<62)), want)
+}
+
+func TestVerifyDetectsFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	campaign(t, db, rng, 3, 100, 0)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if rep, err := Verify(dir); err != nil {
+		t.Fatalf("verify clean store: %v", err)
+	} else if len(rep.Segments) != 1 || rep.Rows == 0 {
+		t.Fatalf("verify report: %+v", rep)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg", "*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a single byte in the middle of a chunk payload.
+	mut := append([]byte(nil), data...)
+	mut[len(mut)/3] ^= 0x04
+	if err := os.WriteFile(segs[0], mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("verify after flipped byte: err = %v, want ErrCorrupt", err)
+	}
+
+	// Restore, then flip a byte in the index region instead.
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mut = append([]byte(nil), data...)
+	mut[len(mut)-footerSize-2] ^= 0x01
+	if err := os.WriteFile(segs[0], mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("verify accepted corrupted index")
+	}
+}
+
+func TestAutoSealAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{HeadMaxRows: 100, CompactMinSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	want := campaign(t, db, rng, 4, 200, 0)
+	st := db.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("auto-seal produced %d segments, want ≥2", st.Segments)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Segments; got != 1 {
+		t.Fatalf("after compaction: %d segments, want 1", got)
+	}
+	requireByteEqual(t, collect(t, db.QueryAll(-1<<62, 1<<62)), want)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged file survives reopen and verification.
+	db2, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireByteEqual(t, collect(t, db2.QueryAll(-1<<62, 1<<62)), want)
+	db2.Close()
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("verify after compaction: %v", err)
+	}
+}
+
+func TestCompactionLeftoverCleanedOnOpen(t *testing.T) {
+	// A crash can leave a compaction input behind next to the merged file;
+	// open must prefer the merged file and ignore (then delete) the input.
+	dir := t.TempDir()
+	db, err := Open(dir, Options{HeadMaxRows: 60, CompactMinSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	want := campaign(t, db, rng, 2, 120, 0)
+	if db.Stats().Segments < 2 {
+		t.Fatal("need ≥2 segments for this test")
+	}
+	// Preserve one input as the "leftover" a crash would leave.
+	db.mu.Lock()
+	leftoverSrc := db.segs[0].path
+	db.mu.Unlock()
+	leftoverData, err := os.ReadFile(leftoverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftoverName := filepath.Base(leftoverSrc)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leftover := filepath.Join(dir, "seg", leftoverName)
+	if err := os.WriteFile(leftover, leftoverData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireByteEqual(t, collect(t, db2.QueryAll(-1<<62, 1<<62)), want)
+	db2.Close()
+	if _, err := os.Stat(leftover); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("leftover input not cleaned up: %v", err)
+	}
+}
+
+func TestRangeQueryWindow(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{HeadMaxRows: 150, CompactMinSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(18))
+	all := campaign(t, db, rng, 3, 200, 0)
+
+	from, to := int64(250), int64(600)
+	var want []Row
+	for _, r := range all {
+		if r.Time >= from && r.Time < to {
+			want = append(want, r)
+		}
+	}
+	requireByteEqual(t, collect(t, db.QueryAll(from, to)), want)
+
+	// Empty window, window before data, window after data.
+	if rows := collect(t, db.QueryAll(50, 50)); len(rows) != 0 {
+		t.Fatalf("empty window returned %d rows", len(rows))
+	}
+	if rows := collect(t, db.Query(1, -100, 0)); len(rows) != 0 {
+		t.Fatalf("pre-data window returned %d rows", len(rows))
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Append(Row{Time: 100, Series: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(Row{Time: 99, Series: 1}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order append: err = %v", err)
+	}
+	// Equal timestamps and other series are fine.
+	if err := db.Append(Row{Time: 100, Series: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(Row{Time: 50, Series: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// The check survives seal + reopen (lastTime seeded from segments).
+	if err := db.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Append(Row{Time: 99, Series: 1}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order after reopen: err = %v", err)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{RetainSeconds: 100, CompactMinSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 10; j++ {
+			row := Row{Time: int64(i*1000 + j*5), Series: 0}
+			if err := db.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("retention kept %d segments, want 1", st.Segments)
+	}
+	minT, _, ok := db.Bounds()
+	if !ok || minT < 4000-100 {
+		t.Fatalf("bounds after retention: min=%d ok=%v", minT, ok)
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Append(Row{Time: 1, Series: 0})
+	db.Close()
+
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if err := ro.Append(Row{Time: 2, Series: 0}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only append: err = %v", err)
+	}
+	if err := ro.Seal(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only seal: err = %v", err)
+	}
+	if _, err := Open(t.TempDir(), Options{ReadOnly: true}); err == nil {
+		t.Fatal("read-only open of a non-store succeeded")
+	}
+}
+
+func TestIsStoreAndMetaVersion(t *testing.T) {
+	dir := t.TempDir()
+	if IsStore(dir) {
+		t.Fatal("empty dir reported as store")
+	}
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if !IsStore(dir) {
+		t.Fatal("store not recognized")
+	}
+	// Future format versions are rejected, not misread.
+	if err := os.WriteFile(filepath.Join(dir, "META.json"), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v", err)
+	}
+}
+
+func TestVerifyReportsWALRows(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	want := campaign(t, db, rng, 2, 20, 0)
+	crash(db)
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WALRows != len(want) {
+		t.Fatalf("verify WALRows = %d, want %d", rep.WALRows, len(want))
+	}
+	// Verify must not have mutated anything: a reopen still recovers.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Recovered() != len(want) {
+		t.Fatalf("recovered %d after Verify, want %d", db2.Recovered(), len(want))
+	}
+}
+
+func TestIteratorSurvivesConcurrentSeal(t *testing.T) {
+	// An iterator snapshots its chunk refs; sealing or compacting under it
+	// must not invalidate the rows it yields.
+	dir := t.TempDir()
+	db, err := Open(dir, Options{CompactMinSegments: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(20))
+	want := campaign(t, db, rng, 2, 100, 0)
+
+	it := db.QueryAll(-1<<62, 1<<62)
+	var got []Row
+	for i := 0; it.Next(); i++ {
+		got = append(got, *it.Row())
+		if i == 10 {
+			if err := db.Seal(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	requireByteEqual(t, got, want)
+}
