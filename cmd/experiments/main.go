@@ -24,6 +24,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		out      = flag.String("out", "", "output file (default stdout)")
 		preamble = flag.Bool("preamble", false, "prepend the EXPERIMENTS.md reading guide")
+		workers  = flag.Int("sim-workers", 0, "parallel tick workers per city simulation (0 = GOMAXPROCS; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -43,9 +44,10 @@ func main() {
 		experiments.WritePreamble(w)
 	}
 	experiments.Report(w, experiments.Options{
-		Seed:   *seed,
-		Days:   *days,
-		Hours:  *hours,
-		Jitter: true,
+		Seed:    *seed,
+		Days:    *days,
+		Hours:   *hours,
+		Jitter:  true,
+		Workers: *workers,
 	})
 }

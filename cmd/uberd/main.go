@@ -52,6 +52,7 @@ func main() {
 		jitter  = flag.Bool("jitter", false, "enable the April 2015 client-stream jitter bug")
 		speedup = flag.Float64("speedup", 60, "simulation seconds per wall-clock second")
 		warmup  = flag.Int64("warmup", 600, "simulation seconds to run before serving")
+		workers = flag.Int("sim-workers", 0, "parallel tick workers for the simulation (0 = GOMAXPROCS; results are identical for any value)")
 
 		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed (same seed replays the same fault sequence)")
 		chaosError    = flag.Float64("chaos-error", 0, "probability of answering a request with an injected 500")
@@ -80,7 +81,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := api.NewBackend(profile, *seed, *jitter)
+	svc := api.NewBackendWorkers(profile, *seed, *jitter, *workers)
 	reg := obs.NewRegistry()
 	svc.Instrument(reg)
 	tracer := obs.NewTracer(4096)

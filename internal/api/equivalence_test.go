@@ -97,69 +97,74 @@ func legacyTime(s *Service, loc geo.LatLng) ([]core.TimeEstimate, error) {
 // TestSnapshotServedEquivalence pins the tentpole's safety property: for
 // any tick, client, and location, the snapshot-served endpoints return
 // exactly what the locked implementation returned — same floats, same car
-// order, same jitter windows — with location fuzz both off and on.
+// order, same jitter windows — with location fuzz both off and on, and
+// with the simulation tick running both serially and multi-worker (the
+// phase-parallel Step and concurrent snapshot build must not change a
+// single response byte).
 func TestSnapshotServedEquivalence(t *testing.T) {
-	for _, fuzz := range []float64{0, 25} {
-		t.Run(fmt.Sprintf("fuzz=%v", fuzz), func(t *testing.T) {
-			s := NewBackend(sim.SanFrancisco(), 11, true)
-			s.SetLocationFuzz(fuzz)
-			clients := make([]string, 6)
-			for i := range clients {
-				clients[i] = fmt.Sprintf("eq-%02d", i)
-				s.Register(clients[i])
-			}
-			region := s.World().Profile().Region
-			proj := s.World().Projection()
-			pts := make([]geo.LatLng, 0, 9)
-			for i := 0; i < 3; i++ {
-				for j := 0; j < 3; j++ {
-					pts = append(pts, proj.ToLatLng(geo.Point{
-						X: region.Min.X + (0.1+0.4*float64(i))*(region.Max.X-region.Min.X),
-						Y: region.Min.Y + (0.1+0.4*float64(j))*(region.Max.Y-region.Min.Y),
-					}))
+	for _, workers := range []int{1, 4} {
+		for _, fuzz := range []float64{0, 25} {
+			t.Run(fmt.Sprintf("workers=%d/fuzz=%v", workers, fuzz), func(t *testing.T) {
+				s := NewBackendWorkers(sim.SanFrancisco(), 11, true, workers)
+				s.SetLocationFuzz(fuzz)
+				clients := make([]string, 6)
+				for i := range clients {
+					clients[i] = fmt.Sprintf("eq-%02d", i)
+					s.Register(clients[i])
 				}
-			}
-			for tick := 0; tick < 40; tick++ {
-				s.Step()
-				c := clients[tick%len(clients)]
-				for _, loc := range pts {
-					got, err := s.PingClient(c, loc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					want, err := legacyPing(s, c, loc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !reflect.DeepEqual(got, want) {
-						t.Fatalf("tick %d client %s loc %v: snapshot ping diverges\n got %+v\nwant %+v",
-							tick, c, loc, got, want)
-					}
-					gp, err := s.EstimatePrice(c, loc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					wp, err := legacyPrice(s, c, loc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !reflect.DeepEqual(gp, wp) {
-						t.Fatalf("tick %d: snapshot price diverges\n got %+v\nwant %+v", tick, gp, wp)
-					}
-					gt, err := s.EstimateTime(c, loc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					wt, err := legacyTime(s, loc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !reflect.DeepEqual(gt, wt) {
-						t.Fatalf("tick %d: snapshot time diverges\n got %+v\nwant %+v", tick, gt, wt)
+				region := s.World().Profile().Region
+				proj := s.World().Projection()
+				pts := make([]geo.LatLng, 0, 9)
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						pts = append(pts, proj.ToLatLng(geo.Point{
+							X: region.Min.X + (0.1+0.4*float64(i))*(region.Max.X-region.Min.X),
+							Y: region.Min.Y + (0.1+0.4*float64(j))*(region.Max.Y-region.Min.Y),
+						}))
 					}
 				}
-			}
-		})
+				for tick := 0; tick < 40; tick++ {
+					s.Step()
+					c := clients[tick%len(clients)]
+					for _, loc := range pts {
+						got, err := s.PingClient(c, loc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := legacyPing(s, c, loc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("tick %d client %s loc %v: snapshot ping diverges\n got %+v\nwant %+v",
+								tick, c, loc, got, want)
+						}
+						gp, err := s.EstimatePrice(c, loc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wp, err := legacyPrice(s, c, loc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(gp, wp) {
+							t.Fatalf("tick %d: snapshot price diverges\n got %+v\nwant %+v", tick, gp, wp)
+						}
+						gt, err := s.EstimateTime(c, loc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wt, err := legacyTime(s, loc)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(gt, wt) {
+							t.Fatalf("tick %d: snapshot time diverges\n got %+v\nwant %+v", tick, gt, wt)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -319,9 +319,17 @@ func (s *Service) EstimateTime(clientID string, loc geo.LatLng) ([]core.TimeEsti
 }
 
 // NewBackend is a convenience constructor: build the world, engine, and
-// service for a city profile in one call.
+// service for a city profile in one call. The simulation uses
+// GOMAXPROCS-many tick workers; results are identical for every worker
+// count, so callers that don't care never need NewBackendWorkers.
 func NewBackend(profile *sim.CityProfile, seed int64, jitter bool) *Service {
-	w := sim.NewWorld(sim.Config{Profile: profile, Seed: seed})
+	return NewBackendWorkers(profile, seed, jitter, 0)
+}
+
+// NewBackendWorkers is NewBackend with an explicit simulation worker
+// count for the phase-parallel tick (0 = GOMAXPROCS).
+func NewBackendWorkers(profile *sim.CityProfile, seed int64, jitter bool, workers int) *Service {
+	w := sim.NewWorld(sim.Config{Profile: profile, Seed: seed, Workers: workers})
 	e := surge.New(w, surge.Config{Params: profile.Surge, Seed: seed, Jitter: jitter})
 	return NewService(w, e)
 }

@@ -18,6 +18,20 @@ import (
 // never go backwards — epochs are published monotonically.
 func TestConcurrentQueriesDuringSteps(t *testing.T) {
 	s := NewBackend(sim.SanFrancisco(), 77, true)
+	stressQueriesDuringSteps(t, s, 200)
+}
+
+// TestParallelStepConcurrentQueries runs the same gauntlet against a
+// backend whose tick itself fans out over multiple workers: the parallel
+// movement/stats/snapshot phases must not leak shared mutable state to
+// the lock-free query path (this is the -race probe for Step-internal
+// parallelism meeting concurrent reads).
+func TestParallelStepConcurrentQueries(t *testing.T) {
+	s := NewBackendWorkers(sim.SanFrancisco(), 78, true, 4)
+	stressQueriesDuringSteps(t, s, 120)
+}
+
+func stressQueriesDuringSteps(t *testing.T, s *Service, steps int) {
 	s.SetLocationFuzz(15)
 	const pingers, estimators = 4, 2
 	ids := make([]string, pingers+estimators)
@@ -84,7 +98,7 @@ func TestConcurrentQueriesDuringSteps(t *testing.T) {
 			n++
 		}
 	}()
-	for i := 0; i < 200; i++ {
+	for i := 0; i < steps; i++ {
 		s.Step()
 	}
 	stop.Store(true)

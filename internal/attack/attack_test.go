@@ -15,6 +15,7 @@ func TestForceOfflineCompliance(t *testing.T) {
 	if idle == 0 {
 		t.Skip("no idle UberX")
 	}
+	offlineBefore, spawnedBefore := w.TotalOffline, w.TotalSpawned
 	n := w.ForceOffline(core.UberX, 0, 50, 1800)
 	if n == 0 {
 		t.Fatal("nobody complied")
@@ -22,10 +23,24 @@ func TestForceOfflineCompliance(t *testing.T) {
 	if w.OnlineDrivers() != before-n {
 		t.Errorf("online = %d, want %d", w.OnlineDrivers(), before-n)
 	}
+	// Suspension cycles keep their own ledger: a coordinated logoff is
+	// neither a driver death nor (on return) a fresh spawn.
+	if w.TotalSuspended != int64(n) {
+		t.Errorf("TotalSuspended = %d, want %d", w.TotalSuspended, n)
+	}
+	if w.TotalOffline != offlineBefore {
+		t.Errorf("ForceOffline moved TotalOffline %d -> %d", offlineBefore, w.TotalOffline)
+	}
+	if w.TotalSpawned != spawnedBefore {
+		t.Errorf("ForceOffline moved TotalSpawned %d -> %d", spawnedBefore, w.TotalSpawned)
+	}
 	// They return after the duration (plus a tick).
 	w.Run(w.Now() + 1800 + 10)
 	if got := w.OnlineDrivers(); got < before-n/2 {
 		t.Errorf("drivers did not come back: %d (was %d)", got, before)
+	}
+	if w.TotalResumed != int64(n) {
+		t.Errorf("TotalResumed = %d, want %d", w.TotalResumed, n)
 	}
 }
 

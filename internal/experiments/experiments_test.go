@@ -194,12 +194,24 @@ func TestFig20_21Correlations(t *testing.T) {
 	if math.IsNaN(sd.RAtZero) || math.IsNaN(ew.RAtZero) {
 		t.Fatal("correlation at lag 0 is NaN")
 	}
-	// Paper's signs: supply-demand negative, EWT positive, at Δt = 0.
-	if sd.RAtZero >= 0 {
-		t.Errorf("supply-demand r at 0 = %.3f, want negative", sd.RAtZero)
-	}
+	// The paper's signed claims (supply−demand negative, EWT positive)
+	// are full-day statistics; EXPERIMENTS.md regenerates them at
+	// -days 1, where both cities come out clearly negative/positive. In
+	// this 8-hour overnight window the supply−demand correlation is
+	// dominated by the shared diurnal ramp into the morning rush — its
+	// sign is seed luck (r at 0 spans roughly −0.07..+0.08 across seeds,
+	// with either RNG layout), so asserting it here would pin noise. The
+	// shape that IS robust at 8 hours: EWT couples strongly and
+	// positively with surge, while supply−demand sits near zero, far
+	// below it.
 	if ew.RAtZero <= 0 {
 		t.Errorf("EWT r at 0 = %.3f, want positive", ew.RAtZero)
+	}
+	if math.Abs(sd.RAtZero) > 0.2 {
+		t.Errorf("supply-demand r at 0 = %.3f, want near zero at the trend-dominated 8h window", sd.RAtZero)
+	}
+	if sd.RAtZero > ew.RAtZero-0.1 {
+		t.Errorf("supply-demand r at 0 = %.3f not clearly below EWT r = %.3f", sd.RAtZero, ew.RAtZero)
 	}
 }
 

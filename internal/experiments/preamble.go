@@ -25,6 +25,16 @@ go run ./cmd/experiments -preamble -days 1 -seed 42 -out EXPERIMENTS.md
 the shapes are stable from one day up. The numbers below were produced by
 exactly that command.)
 
+A note on revisions: the simulation tick is now phase-parallel
+(DESIGN.md, "Parallel simulation") and draws from per-shard
+counter-based RNG streams instead of one serial stream. Every sampled
+number below therefore differs from pre-parallel revisions of this
+file — a pure relabeling of the random draws, not a behavior change:
+the distributions, orderings, and correlation shapes are the same, and
+the worker count never affects results (the tick is bit-for-bit
+identical for any ` + "`-sim-workers`" + ` value; see
+` + "`TestStepWorkerInvariance`" + `).
+
 Reading guide — what "reproduced" means here: the backend is a simulator
 calibrated to the paper's aggregate observations, so absolute counts are
 not comparable to 2015 production Uber. The reproduction claims are about
@@ -36,7 +46,7 @@ the shape being tested. Known deviations worth flagging up front:
 * **Fig 2**: the diurnal ordering (larger radius at night) reproduces;
   the paper's SF≫Manhattan radius gap does not fully, because the
   simulated SF fleet density is closer to Manhattan's than reality's.
-* **Fig 13**: the April client stream shows ~18-20% of surges under one
+* **Fig 13**: the April client stream shows ~16-20% of surges under one
   minute versus the paper's 40%; pushing the jitter rate high enough to
   match 40% would break Fig 17's "90% of jitter events are seen by one
   client". The paper's two numbers are in tension under any

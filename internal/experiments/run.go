@@ -39,6 +39,9 @@ type Options struct {
 	SkipStrategy bool
 	// SkipProber disables surge-area lattice probing.
 	SkipProber bool
+	// Workers is the simulation's phase-parallel tick worker count
+	// (0 = GOMAXPROCS). Campaign results are identical for every value.
+	Workers int
 }
 
 // StrategyStats aggregates Figs 23/24 inputs for one client position.
@@ -169,7 +172,7 @@ func RunCity(profile *sim.CityProfile, opts Options) *CityRun {
 		end = int64(opts.Hours) * 3600
 	}
 
-	svc := api.NewBackend(profile, opts.Seed, opts.Jitter)
+	svc := api.NewBackendWorkers(profile, opts.Seed, opts.Jitter, opts.Workers)
 	pts := client.GridLayout(profile.MeasureRect, profile.ClientSpacing, client.NumClients)
 	camp := client.NewCampaign(svc, svc.World().Projection(), pts)
 	camp.RegisterAll(svc)

@@ -123,6 +123,37 @@ func (g *Grid) Move(id int64, p Point) {
 	g.cellOf[id] = ni
 }
 
+// IDPoint pairs an indexed id with a position, the unit of the batched
+// mutation API below.
+type IDPoint struct {
+	ID  int64
+	Pos Point
+}
+
+// MoveBatch applies Move for every entry in order. Phase-parallel
+// callers (internal/sim's tick) buffer position updates per shard and
+// commit them through here, so the grid sees one ordered serial write
+// stream no matter how many workers produced the updates.
+func (g *Grid) MoveBatch(ups []IDPoint) {
+	for _, u := range ups {
+		g.Move(u.ID, u.Pos)
+	}
+}
+
+// InsertBatch applies Insert for every entry in order.
+func (g *Grid) InsertBatch(ups []IDPoint) {
+	for _, u := range ups {
+		g.Insert(u.ID, u.Pos)
+	}
+}
+
+// RemoveBatch applies Remove for every id in order.
+func (g *Grid) RemoveBatch(ids []int64) {
+	for _, id := range ids {
+		g.Remove(id)
+	}
+}
+
 // Position returns the stored position of id.
 func (g *Grid) Position(id int64) (Point, bool) {
 	p, ok := g.pos[id]

@@ -64,6 +64,13 @@ type productIndex struct {
 // Snapshot freezes the world's queryable state. It must be called from
 // the same goroutine that steps the world (or under the caller's step
 // lock); the returned snapshot itself is immutable.
+//
+// The build is phase-parallel like Step: shard workers project their own
+// drivers' wire views into per-shard per-product lists, the lists are
+// concatenated in shard order (preserving driver order, which the CSR
+// index construction depends on for its deterministic layout), and the
+// per-product indexes are built concurrently — each product's index is
+// an independent write target.
 func (w *World) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Now:     w.now,
@@ -72,29 +79,49 @@ func (w *World) Snapshot() *Snapshot {
 		Proj:    w.proj,
 		areaIdx: w.areaIndex,
 	}
+	n := len(w.drivers)
+	shards := numShards(n)
+	parts := make([][core.NumVehicleTypes][]snapCar, shards)
+	w.runShards(shards, func(sh int) {
+		lo, hi := shardBounds(sh, n)
+		for _, d := range w.drivers[lo:hi] {
+			if d.State != StateIdle {
+				continue
+			}
+			pts := d.PathPoints()
+			path := make([]geo.LatLng, len(pts))
+			for i, p := range pts {
+				path[i] = w.proj.ToLatLng(p)
+			}
+			parts[sh][int(d.Type)] = append(parts[sh][int(d.Type)], snapCar{
+				id:  d.ID,
+				pos: d.Pos,
+				view: core.CarView{
+					ID:   d.Session,
+					Pos:  w.proj.ToLatLng(d.Pos),
+					Path: path,
+				},
+			})
+		}
+	})
 	var lists [core.NumVehicleTypes][]snapCar
-	for _, d := range w.drivers {
-		if d.State != StateIdle {
+	for vt := range lists {
+		total := 0
+		for sh := range parts {
+			total += len(parts[sh][vt])
+		}
+		if total == 0 {
 			continue
 		}
-		pts := d.PathPoints()
-		path := make([]geo.LatLng, len(pts))
-		for i, p := range pts {
-			path[i] = w.proj.ToLatLng(p)
+		list := make([]snapCar, 0, total)
+		for sh := range parts {
+			list = append(list, parts[sh][vt]...)
 		}
-		lists[int(d.Type)] = append(lists[int(d.Type)], snapCar{
-			id:  d.ID,
-			pos: d.Pos,
-			view: core.CarView{
-				ID:   d.Session,
-				Pos:  w.proj.ToLatLng(d.Pos),
-				Path: path,
-			},
-		})
+		lists[vt] = list
 	}
-	for vt := range s.products {
+	w.runShards(len(s.products), func(vt int) {
 		s.products[vt] = buildProductIndex(lists[vt], w.profile.Region, gridCellMeters)
-	}
+	})
 	return s
 }
 

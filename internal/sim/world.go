@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -22,6 +23,13 @@ type Config struct {
 	StartTime int64
 	// Pricing selects the market mechanism (default PricingSurge).
 	Pricing PricingMode
+	// Workers is how many goroutines the phase-parallel portions of Step
+	// (movement/cruise, window stats, snapshot build) fan out over;
+	// 0 means runtime.GOMAXPROCS(0). Results are bit-for-bit identical
+	// for every worker count: parallel phases draw from per-(seed, tick,
+	// shard) RNG streams and commit through ordered per-shard buffers
+	// (see parallel.go).
+	Workers int
 }
 
 // PricingMode selects how prices form.
@@ -112,8 +120,14 @@ type World struct {
 	suspended []suspendedDriver
 
 	// lifetime counters (ground truth for tests and validation).
+	// Spawned/Offline count organic session starts and deaths only;
+	// coordinated-logoff suspension cycles (ForceOffline → return) are
+	// tracked separately so they don't skew churn- and lifespan-derived
+	// figures (Fig 7).
 	TotalSpawned   int64
 	TotalOffline   int64
+	TotalSuspended int64
+	TotalResumed   int64
 	TotalPickups   int64
 	TotalDropoffs  int64
 	TotalPricedOut int64
@@ -133,10 +147,16 @@ type World struct {
 	// never reset — the attack experiment diffs it across a window).
 	AreaFares []float64
 
+	// workers is the resolved Config.Workers; moveOps holds the reusable
+	// per-shard commit buffers of the parallel movement phase.
+	workers int
+	moveOps []shardOps
+
 	// nil-safe metric handles; zero until Instrument is called. The
 	// counters mirror the lifetime totals by delta so Prometheus sees
 	// monotonic series.
 	hStep         *obs.Histogram
+	hPhase        [numPhases]*obs.Histogram
 	gDrivers      *obs.Gauge
 	gSimTime      *obs.Gauge
 	mPickups      *obs.Counter
@@ -147,15 +167,30 @@ type World struct {
 	lastUnmet     int64
 }
 
+// Step phases, in execution order, for per-phase timing.
+const (
+	phaseSpawn    = iota // spawnArrivals + resumeSuspended
+	phaseMove            // parallel movement/cruise + serial commit
+	phaseDispatch        // generateRequests
+	phaseStats           // accumulateStats + expireShocks
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"spawn", "move", "dispatch", "stats"}
+
 // Instrument wires the world's metrics into reg:
 //
 //	sim_step_duration_seconds   wall-clock cost of one tick
+//	sim_phase_duration_seconds{phase}  per-phase breakdown of a tick
 //	sim_drivers_online          current online driver count
 //	sim_time_seconds            simulation clock
 //	sim_pickups_total           fulfilled requests
 //	sim_requests_priced_out_total / sim_requests_unmet_total  lost demand
 func (w *World) Instrument(reg *obs.Registry) {
 	w.hStep = reg.Histogram("sim_step_duration_seconds", nil)
+	for i := range w.hPhase {
+		w.hPhase[i] = reg.Histogram("sim_phase_duration_seconds", nil, obs.L("phase", phaseNames[i]))
+	}
 	w.gDrivers = reg.Gauge("sim_drivers_online")
 	w.gSimTime = reg.Gauge("sim_time_seconds")
 	w.mPickups = reg.Counter("sim_pickups_total")
@@ -224,6 +259,10 @@ func NewWorld(cfg Config) *World {
 		driverIdx: make(map[int64]int),
 		areas:     p.SurgeAreas(),
 		surgeOf:   func(int) float64 { return 1 },
+	}
+	w.workers = cfg.Workers
+	if w.workers <= 0 {
+		w.workers = runtime.GOMAXPROCS(0)
 	}
 	w.areaIndex = geo.NewAreaIndex(w.areas, gridCellMeters)
 	w.areaStats = make([]WindowStats, len(w.areas))
@@ -357,7 +396,11 @@ func (w *World) sessionLength(vt core.VehicleType) float64 {
 
 // sampleShare picks an index from a cumulative share vector.
 func (w *World) sampleShare(cdf []float64) int {
-	u := w.rng.Float64()
+	return sampleShareRand(w.rng, cdf)
+}
+
+func sampleShareRand(rng *rand.Rand, cdf []float64) int {
+	u := rng.Float64()
 	for i, c := range cdf {
 		if u <= c {
 			return i
@@ -367,31 +410,39 @@ func (w *World) sampleShare(cdf []float64) int {
 }
 
 // samplePlace draws a location from the hotspot mixture (75%) or uniformly
-// from the region (25%), clamped into the region.
-func (w *World) samplePlace() geo.Point {
+// from the region (25%), clamped into the region. The serial phases draw
+// from the world stream; shard workers pass their own stream.
+func (w *World) samplePlace() geo.Point { return w.samplePlaceRand(w.rng) }
+
+func (w *World) samplePlaceRand(rng *rand.Rand) geo.Point {
 	r := w.profile.Region
-	if len(w.profile.Hotspots) == 0 || w.rng.Float64() < 0.25 {
+	if len(w.profile.Hotspots) == 0 || rng.Float64() < 0.25 {
 		return geo.Point{
-			X: r.Min.X + w.rng.Float64()*r.Width(),
-			Y: r.Min.Y + w.rng.Float64()*r.Height(),
+			X: r.Min.X + rng.Float64()*r.Width(),
+			Y: r.Min.Y + rng.Float64()*r.Height(),
 		}
 	}
-	h := w.profile.Hotspots[w.sampleShare(w.hotspotCDF)]
+	h := w.profile.Hotspots[sampleShareRand(rng, w.hotspotCDF)]
 	p := geo.Point{
-		X: h.Pos.X + w.rng.NormFloat64()*h.Radius,
-		Y: h.Pos.Y + w.rng.NormFloat64()*h.Radius,
+		X: h.Pos.X + rng.NormFloat64()*h.Radius,
+		Y: h.Pos.Y + rng.NormFloat64()*h.Radius,
 	}
 	return r.Clamp(p)
 }
 
-// spawnDriver brings a new driver online and returns it.
-func (w *World) spawnDriver() *Driver {
-	vt := core.VehicleType(w.sampleShare(w.fleetCDF))
+// addDriver registers a fresh online session of the product at pos,
+// drawing the full logon state — session ID, pricing posture, session
+// length, cruise plan — from the world stream. Both organic spawns and
+// suspended-driver resumes go through here, so a resumed driver gets the
+// same PriceFactor/idleSince initialization as any new logon (it used to
+// come back with the zero values, quoting factor 0 and instantly
+// tripping the lose-shift rule under PricingDriverSet).
+func (w *World) addDriver(vt core.VehicleType, pos geo.Point) *Driver {
 	d := &Driver{
 		ID:          w.nextID,
 		Session:     newSessionID(w.rng),
 		Type:        vt,
-		Pos:         w.samplePlace(),
+		Pos:         pos,
 		State:       StateIdle,
 		PriceFactor: clampFactor(1 + 0.2*w.rng.NormFloat64()),
 		idleSince:   w.now,
@@ -404,11 +455,20 @@ func (w *World) spawnDriver() *Driver {
 	w.drivers = append(w.drivers, d)
 	w.driverIdx[d.ID] = len(w.drivers) - 1
 	w.grids[int(vt)].Insert(d.ID, d.Pos)
+	return d
+}
+
+// spawnDriver brings a new driver online and returns it.
+func (w *World) spawnDriver() *Driver {
+	vt := core.VehicleType(w.sampleShare(w.fleetCDF))
+	d := w.addDriver(vt, w.samplePlace())
 	w.TotalSpawned++
 	return d
 }
 
-// removeDriver takes the driver at slice index i offline.
+// removeDriver takes the driver at slice index i offline. Callers count
+// the departure themselves: an organic session death is TotalOffline, a
+// coordinated-logoff suspension is TotalSuspended.
 func (w *World) removeDriver(i int) {
 	d := w.drivers[i]
 	if d.State == StateIdle {
@@ -419,14 +479,15 @@ func (w *World) removeDriver(i int) {
 	w.driverIdx[w.drivers[i].ID] = i
 	w.drivers = w.drivers[:last]
 	delete(w.driverIdx, d.ID)
-	w.TotalOffline++
 }
 
 // Step advances the world by one tick.
 func (w *World) Step() {
-	var stepStart time.Time
-	if w.hStep != nil {
+	instrumented := w.hStep != nil
+	var stepStart, phaseStart time.Time
+	if instrumented {
 		stepStart = time.Now()
+		phaseStart = stepStart
 	}
 	dt := float64(w.cfg.TickSeconds)
 	w.now += w.cfg.TickSeconds
@@ -434,12 +495,24 @@ func (w *World) Step() {
 
 	w.spawnArrivals(dt)
 	w.resumeSuspended()
+	if instrumented {
+		phaseStart = w.observePhase(phaseSpawn, phaseStart)
+	}
 	w.moveDrivers(dt)
+	if instrumented {
+		phaseStart = w.observePhase(phaseMove, phaseStart)
+	}
 	w.generateRequests(dt)
+	if instrumented {
+		phaseStart = w.observePhase(phaseDispatch, phaseStart)
+	}
 	w.accumulateStats()
 	w.expireShocks()
+	if instrumented {
+		w.observePhase(phaseStats, phaseStart)
+	}
 
-	if w.hStep != nil {
+	if instrumented {
 		w.hStep.ObserveDuration(time.Since(stepStart))
 		w.gDrivers.Set(float64(len(w.drivers)))
 		w.gSimTime.Set(float64(w.now))
@@ -450,6 +523,14 @@ func (w *World) Step() {
 		w.lastPricedOut = w.TotalPricedOut
 		w.lastUnmet = w.TotalUnmet
 	}
+}
+
+// observePhase records one phase's duration and returns the next phase's
+// start time.
+func (w *World) observePhase(phase int, since time.Time) time.Time {
+	now := time.Now()
+	w.hPhase[phase].ObserveDuration(now.Sub(since))
+	return now
 }
 
 // ForceOffline takes up to n idle drivers of the product inside the surge
@@ -471,6 +552,7 @@ func (w *World) ForceOffline(vt core.VehicleType, area int, n int, duration int6
 			vt: d.Type, pos: d.Pos, returnAt: w.now + duration,
 		})
 		w.removeDriver(i)
+		w.TotalSuspended++
 		i--
 		taken++
 	}
@@ -489,22 +571,8 @@ func (w *World) resumeSuspended() {
 			live = append(live, s)
 			continue
 		}
-		d := &Driver{
-			ID:      w.nextID,
-			Session: newSessionID(w.rng),
-			Type:    s.vt,
-			Pos:     s.pos,
-			State:   StateIdle,
-		}
-		w.nextID++
-		d.OfflineAt = w.now + int64(w.sessionLength(s.vt))
-		d.cruiseTarget = w.samplePlace()
-		d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
-		d.recordPath()
-		w.drivers = append(w.drivers, d)
-		w.driverIdx[d.ID] = len(w.drivers) - 1
-		w.grids[int(s.vt)].Insert(d.ID, d.Pos)
-		w.TotalSpawned++
+		w.addDriver(s.vt, s.pos)
+		w.TotalResumed++
 	}
 	w.suspended = live
 }
@@ -533,11 +601,18 @@ func (w *World) spawnArrivals(dt float64) {
 	p := w.profile
 	target := float64(p.PeakDrivers) * p.SupplyDiurnal[HourOfDay(w.now)]
 	rate := target / w.effSessionSec // arrivals per second
-	avgSurge := 0.0
-	for i := range w.areas {
-		avgSurge += w.surgeOf(i)
+	// A profile without surge areas (taxi validation, custom rigs) has no
+	// surge signal: treat it as a uniform 1.0 rather than dividing by
+	// zero, which would turn the arrival rate into NaN and silently stop
+	// all spawning.
+	avgSurge := 1.0
+	if len(w.areas) > 0 {
+		avgSurge = 0.0
+		for i := range w.areas {
+			avgSurge += w.surgeOf(i)
+		}
+		avgSurge /= float64(len(w.areas))
 	}
-	avgSurge /= float64(len(w.areas))
 	rate *= 1 + p.SupplyBoost*(avgSurge-1)
 	n := poisson(w.rng, rate*dt)
 	for i := 0; i < n; i++ {
@@ -560,61 +635,114 @@ func (w *World) surgeWeight(p geo.Point) float64 {
 	return w.surgeOf(a)
 }
 
+// shardOps buffers one shard's deferred world mutations during the
+// parallel movement phase: grid updates and removals may not touch the
+// shared grids/driver slice from workers, so they queue here and the
+// commit loop applies them in (shard, index) order.
+type shardOps struct {
+	removals []int64 // drivers whose session ended this tick
+	moves    [core.NumVehicleTypes][]geo.IDPoint
+	inserts  [core.NumVehicleTypes][]geo.IDPoint // trip completions re-entering the map
+	dropoffs int64
+}
+
+func (o *shardOps) reset() {
+	o.removals = o.removals[:0]
+	for vt := range o.moves {
+		o.moves[vt] = o.moves[vt][:0]
+		o.inserts[vt] = o.inserts[vt][:0]
+	}
+	o.dropoffs = 0
+}
+
 // moveDrivers advances every driver's state machine by dt seconds.
+//
+// The phase is parallel over fixed driver shards: each shard mutates only
+// its own drivers' fields and its private shardOps buffer, drawing
+// randomness from the shard's (seed, tick, shard) stream. The trailing
+// commit applies grid moves, re-inserts, and removals serially in shard
+// order, so the world after the phase is independent of worker count.
 func (w *World) moveDrivers(dt float64) {
 	speed := StreetSpeed(w.now)
-	for i := 0; i < len(w.drivers); i++ {
-		d := w.drivers[i]
-		switch d.State {
-		case StateIdle:
-			if d.OfflineAt <= w.now {
-				w.removeDriver(i)
-				i--
-				continue
-			}
-			w.cruise(d, dt)
-		case StateEnRoute:
-			if d.stepToward(d.Pickup, speed*dt/manhattanFactor) {
-				// Passenger boards; trip begins.
-				d.State = StateOnTrip
-			}
-		case StateOnTrip:
-			if d.stepToward(d.Dest, speed*dt/manhattanFactor) {
-				if d.destDrop {
-					w.TotalDropoffs++
-					if d.PoolRiders > 0 {
-						d.PoolRiders--
-					}
-				}
-				// A shared POOL trip continues through its stop queue.
-				if len(d.stops) > 0 {
-					next := d.stops[0]
-					d.stops = d.stops[1:]
-					d.Dest = next.Pos
-					d.destDrop = next.Drop
-					break
-				}
-				d.PoolRiders = 0
-				if d.OfflineAt <= w.now {
-					w.removeDriver(i)
-					i--
-					continue
-				}
-				d.State = StateIdle
-				d.idleSince = w.now
-				d.cruiseTarget = w.samplePlace()
-				d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
-				w.grids[int(d.Type)].Insert(d.ID, d.Pos)
-			}
-		}
-		d.recordPath()
+	n := len(w.drivers)
+	shards := numShards(n)
+	for len(w.moveOps) < shards {
+		w.moveOps = append(w.moveOps, shardOps{})
 	}
+	ops := w.moveOps[:shards]
+	w.runShards(shards, func(s int) {
+		o := &ops[s]
+		o.reset()
+		rng := w.shardRand(s)
+		lo, hi := shardBounds(s, n)
+		for _, d := range w.drivers[lo:hi] {
+			w.moveOne(d, dt, speed, rng, o)
+		}
+	})
+	for s := range ops {
+		o := &ops[s]
+		w.TotalDropoffs += o.dropoffs
+		for vt := range o.moves {
+			w.grids[vt].MoveBatch(o.moves[vt])
+			w.grids[vt].InsertBatch(o.inserts[vt])
+		}
+		for _, id := range o.removals {
+			w.removeDriver(w.driverIdx[id])
+			w.TotalOffline++
+		}
+	}
+}
+
+// moveOne advances a single driver, queueing shared-state mutations in o.
+// It may only write driver-local fields; everything else is deferred.
+func (w *World) moveOne(d *Driver, dt, speed float64, rng *rand.Rand, o *shardOps) {
+	switch d.State {
+	case StateIdle:
+		if d.OfflineAt <= w.now {
+			o.removals = append(o.removals, d.ID)
+			return // departed drivers don't extend their path
+		}
+		w.cruise(d, dt, rng, o)
+	case StateEnRoute:
+		if d.stepToward(d.Pickup, speed*dt/manhattanFactor) {
+			// Passenger boards; trip begins.
+			d.State = StateOnTrip
+		}
+	case StateOnTrip:
+		if d.stepToward(d.Dest, speed*dt/manhattanFactor) {
+			if d.destDrop {
+				o.dropoffs++
+				if d.PoolRiders > 0 {
+					d.PoolRiders--
+				}
+			}
+			// A shared POOL trip continues through its stop queue.
+			if len(d.stops) > 0 {
+				next := d.stops[0]
+				d.stops = d.stops[1:]
+				d.Dest = next.Pos
+				d.destDrop = next.Drop
+				break
+			}
+			d.PoolRiders = 0
+			if d.OfflineAt <= w.now {
+				o.removals = append(o.removals, d.ID)
+				return
+			}
+			d.State = StateIdle
+			d.idleSince = w.now
+			d.cruiseTarget = w.samplePlaceRand(rng)
+			d.cruiseUntil = w.now + int64(120+rng.Intn(600))
+			o.inserts[int(d.Type)] = append(o.inserts[int(d.Type)], geo.IDPoint{ID: d.ID, Pos: d.Pos})
+		}
+	}
+	d.recordPath()
 }
 
 // cruise moves an idle driver toward its cruise target, re-rolling the
 // target when reached or expired. Idle drivers drift toward hotspots most
 // of the time, producing the spatial skew in Figs 9 and 10.
-func (w *World) cruise(d *Driver, dt float64) {
+func (w *World) cruise(d *Driver, dt float64, rng *rand.Rand, o *shardOps) {
 	if w.cfg.Pricing == PricingDriverSet && w.now-d.idleSince > 1200 {
 		// No fare for 20 minutes: lower the asking price and keep
 		// waiting (lose-shift).
@@ -622,8 +750,8 @@ func (w *World) cruise(d *Driver, dt float64) {
 		d.idleSince = w.now
 	}
 	if w.now >= d.cruiseUntil || geo.Dist(d.Pos, d.cruiseTarget) < 20 {
-		d.cruiseTarget = w.samplePlace()
-		d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
+		d.cruiseTarget = w.samplePlaceRand(rng)
+		d.cruiseUntil = w.now + int64(120+rng.Intn(600))
 	}
 	// Jittered heading toward the target.
 	v := d.cruiseTarget.Sub(d.Pos)
@@ -633,10 +761,10 @@ func (w *World) cruise(d *Driver, dt float64) {
 	}
 	step := idleSpeed * dt
 	move := v.Scale(step / n)
-	move.X += w.rng.NormFloat64() * step * 0.3
-	move.Y += w.rng.NormFloat64() * step * 0.3
+	move.X += rng.NormFloat64() * step * 0.3
+	move.Y += rng.NormFloat64() * step * 0.3
 	d.Pos = w.profile.Region.Clamp(d.Pos.Add(move))
-	w.grids[int(d.Type)].Move(d.ID, d.Pos)
+	o.moves[int(d.Type)] = append(o.moves[int(d.Type)], geo.IDPoint{ID: d.ID, Pos: d.Pos})
 }
 
 // generateRequests draws passenger requests from the non-homogeneous
@@ -842,29 +970,48 @@ func clampFactor(f float64) float64 {
 	return f
 }
 
-// accumulateStats samples per-area idle/busy counts and centroid EWTs for
-// the surge engine's trailing window.
+// accumulateStats samples per-area idle/busy counts for the surge
+// engine's trailing window. The tally is parallel over driver shards;
+// the per-shard integer counts merge into one exact total regardless of
+// shard or worker order, so the accumulated floats match the serial sum
+// bit for bit.
 func (w *World) accumulateStats() {
-	counts := make([]struct{ idle, busy float64 }, len(w.areas))
-	for _, d := range w.drivers {
-		if !d.Type.Surgeable() {
-			continue
-		}
-		a := w.areaIndex.Find(d.Pos)
-		if a < 0 {
-			continue
-		}
-		if d.State == StateIdle {
-			counts[a].idle++
-		} else {
-			counts[a].busy++
-		}
+	if len(w.areas) == 0 {
+		return
 	}
+	type areaCount struct{ idle, busy int }
+	n := len(w.drivers)
+	shards := numShards(n)
+	parts := make([][]areaCount, shards)
+	w.runShards(shards, func(s int) {
+		counts := make([]areaCount, len(w.areas))
+		lo, hi := shardBounds(s, n)
+		for _, d := range w.drivers[lo:hi] {
+			if !d.Type.Surgeable() {
+				continue
+			}
+			a := w.areaIndex.Find(d.Pos)
+			if a < 0 {
+				continue
+			}
+			if d.State == StateIdle {
+				counts[a].idle++
+			} else {
+				counts[a].busy++
+			}
+		}
+		parts[s] = counts
+	})
 	for i := range w.areas {
+		var idle, busy int
+		for s := range parts {
+			idle += parts[s][i].idle
+			busy += parts[s][i].busy
+		}
 		st := &w.areaStats[i]
 		st.Ticks++
-		st.IdleCarTicks += counts[i].idle
-		st.BusyCarTicks += counts[i].busy
+		st.IdleCarTicks += float64(idle)
+		st.BusyCarTicks += float64(busy)
 	}
 }
 
