@@ -11,10 +11,15 @@
 // (crashed campaign, partial copy) is analyzed up to the damage, with a
 // warning.
 //
+// With -follow it switches from batch to streaming: it tails a live bus
+// directory (uberd -bus DIR), reports each 5-minute window as it seals,
+// and prints surge/supply/EWT/demand correlations over the run.
+//
 // Usage:
 //
 //	analyze -in campaign.jsonl.gz
 //	analyze -in campaign.tsdb -from 1672531200 -to 1672617600
+//	analyze -follow -bus /tmp/ubus -windows 12
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/chart"
 	"repro/internal/forecast"
@@ -32,10 +38,21 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "recording file or tsdb directory (required)")
+	in := flag.String("in", "", "recording file or tsdb directory (required unless -follow)")
 	from := flag.Int64("from", 0, "analyze observations at or after this campaign time (0 = start)")
 	to := flag.Int64("to", 0, "analyze observations before this campaign time (0 = end)")
+	follow := flag.Bool("follow", false, "stream live windows from a bus directory instead of replaying a store")
+	busDir := flag.String("bus", "", "bus directory to tail (with -follow; an uberd -bus DIR)")
+	windows := flag.Int("windows", 0, "with -follow: stop after this many sealed windows (0 = until interrupted)")
+	poll := flag.Duration("poll", 200*time.Millisecond, "with -follow: idle poll interval")
 	flag.Parse()
+	if *follow {
+		if *busDir == "" {
+			fmt.Fprintln(os.Stderr, "usage: analyze -follow -bus DIR [-windows N]")
+			os.Exit(2)
+		}
+		os.Exit(runFollow(*busDir, *windows, *poll))
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "usage: analyze -in campaign.jsonl.gz [-from T] [-to T]")
 		os.Exit(2)

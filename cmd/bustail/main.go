@@ -1,0 +1,95 @@
+// Command bustail follows a topic of an embedded bus directory (an
+// `uberd -bus DIR`) from another process and prints events as they
+// arrive — the streaming pipeline's tcpdump. With -surgemap it folds
+// surge.changes into the live per-area multiplier map instead of
+// printing raw events, redrawing on every change.
+//
+// Usage:
+//
+//	bustail -bus /tmp/ubus -topic sim.cars
+//	bustail -bus /tmp/ubus -topic api.pings -json -n 100
+//	bustail -bus /tmp/ubus -surgemap -areas 6
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/surgemap"
+)
+
+func main() {
+	busDir := flag.String("bus", "", "bus directory (required)")
+	topic := flag.String("topic", bus.TopicCars, "topic to follow")
+	asJSON := flag.Bool("json", false, "print events as JSON lines")
+	maxN := flag.Int("n", 0, "stop after this many events (0 = until interrupted)")
+	poll := flag.Duration("poll", 200*time.Millisecond, "idle poll interval")
+	surgeMap := flag.Bool("surgemap", false, "render the live surge map from surge.changes instead of raw events")
+	areas := flag.Int("areas", 6, "number of surge areas (with -surgemap)")
+	flag.Parse()
+	if *busDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: bustail -bus DIR [-topic NAME] [-json] [-n N] | -surgemap [-areas N]")
+		os.Exit(2)
+	}
+	if *surgeMap {
+		*topic = bus.TopicSurge
+	}
+
+	tail, err := bus.OpenTail(*busDir, *topic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer tail.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var lt *surgemap.LiveTail
+	if *surgeMap {
+		lt = surgemap.NewLiveTail(*areas)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	seen := 0
+	var buf []bus.Event
+	for ctx.Err() == nil && (*maxN == 0 || seen < *maxN) {
+		buf = tail.Poll(buf[:0])
+		if len(buf) == 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(*poll):
+			}
+			continue
+		}
+		redraw := false
+		for _, ev := range buf {
+			seen++
+			switch {
+			case lt != nil:
+				redraw = lt.Apply(ev) || redraw
+			case *asJSON:
+				enc.Encode(map[string]any{
+					"part": ev.Part, "seq": ev.Seq, "time": ev.Time,
+					"kind": ev.Kind.String(), "key": ev.Key, "area": ev.Area,
+					"num": ev.Num, "str": ev.Str, "data_len": len(ev.Data),
+				})
+			default:
+				fmt.Printf("%d/%-6d t=%-8d %-14s key=%s area=%d num=%g str=%q data=%dB\n",
+					ev.Part, ev.Seq, ev.Time, ev.Kind, ev.Key, ev.Area, ev.Num, ev.Str, len(ev.Data))
+			}
+			if *maxN > 0 && seen >= *maxN {
+				break
+			}
+		}
+		if redraw {
+			fmt.Print(lt.ASCII())
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Event-bus wiring: connects every producing layer of the backend (sim
+// driver lifecycle, surge multiplier moves, served pings and
+// registrations, injected faults) to an embedded broker, and optionally
+// runs the live tsdb ingester as an in-process consumer group so a
+// campaign store grows while the server runs — `analyze` reads it like
+// any `measure -store tsdb` recording.
+
+package main
+
+import (
+	"errors"
+	"log"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/bus"
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/record"
+)
+
+// busRuntime is the broker plus the optional in-process ingest consumer.
+type busRuntime struct {
+	broker *bus.Broker
+
+	cons       *bus.Consumer
+	ing        *record.LiveIngester
+	ingestDone chan struct{}
+}
+
+// startBus opens the broker at dir, wires all four producers, and (when
+// ingestDir is non-empty) starts the live tsdb ingester consuming the
+// pings topic under the "uberd-ingest" group.
+func startBus(svc *api.Service, inj *chaos.Injector, reg *obs.Registry, dir, ingestDir string, drop bool) (*busRuntime, error) {
+	br, err := bus.Open(dir, bus.Options{Drop: drop, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	rt := &busRuntime{broker: br}
+	// Publish failures are backpressure drops (already counted by the
+	// broker) or the shutdown race; neither is worth a log line per event.
+	pub := func(t *bus.Topic) func(bus.Event) {
+		return func(ev bus.Event) {
+			err := t.Publish(ev)
+			if err != nil && !errors.Is(err, bus.ErrClosed) && !errors.Is(err, bus.ErrBackpressure) {
+				log.Printf("uberd: bus %s: %v", t.Name(), err)
+			}
+		}
+	}
+
+	cars, err := br.Topic(bus.TopicCars, 8)
+	if err != nil {
+		return nil, err
+	}
+	svc.World().SetEventSink(pub(cars))
+
+	surgeTopic, err := br.Topic(bus.TopicSurge, 1)
+	if err != nil {
+		return nil, err
+	}
+	svc.Engine().SetEventSink(pub(surgeTopic))
+
+	pings, err := br.Topic(bus.TopicPings, 4)
+	if err != nil {
+		return nil, err
+	}
+	pingPub := pub(pings)
+	svc.SetEventSinks(pingPub, pingPub)
+
+	if inj != nil {
+		faults, err := br.Topic(bus.TopicFaults, 1)
+		if err != nil {
+			return nil, err
+		}
+		faultPub := pub(faults)
+		inj.SetFaultSink(func(f chaos.Fault, path string) {
+			faultPub(bus.Event{Time: svc.Now(), Kind: bus.KindFault, Key: f.String(), Area: -1, Str: path})
+		})
+	}
+
+	if ingestDir != "" {
+		if err := rt.startIngest(svc, pings, reg, ingestDir); err != nil {
+			br.Close()
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+func (rt *busRuntime) startIngest(svc *api.Service, pings *bus.Topic, reg *obs.Registry, dir string) error {
+	cons, err := pings.Subscribe("uberd-ingest")
+	if err != nil {
+		return err
+	}
+	hdr := record.Header{City: svc.World().Profile().Name, Start: svc.Now()}
+	ing, err := record.NewLiveIngester(dir, hdr, svc.World().Projection(), reg)
+	if err != nil {
+		cons.Close()
+		return err
+	}
+	rt.cons, rt.ing = cons, ing
+	rt.ingestDone = make(chan struct{})
+	go func() {
+		defer close(rt.ingestDone)
+		for {
+			ev, ok := cons.Next()
+			if !ok {
+				return // broker closed and the backlog is drained
+			}
+			roundDone, err := ing.Handle(ev)
+			if err != nil {
+				log.Printf("uberd: ingest: %v", err)
+				continue
+			}
+			if roundDone {
+				// Rows are durable (Handle committed the round); now the
+				// offsets may follow — at-least-once, never losing rows.
+				if err := cons.Commit(); err != nil {
+					log.Printf("uberd: ingest commit: %v", err)
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// shutdown closes the broker (stopping producers), waits for the ingest
+// consumer to drain the backlog, and flushes rows before offsets.
+func (rt *busRuntime) shutdown(timeout time.Duration) {
+	if err := rt.broker.Close(); err != nil {
+		log.Printf("uberd: bus close: %v", err)
+	}
+	if rt.ingestDone == nil {
+		return
+	}
+	select {
+	case <-rt.ingestDone:
+	case <-time.After(timeout):
+		log.Printf("uberd: ingest drain timed out after %s", timeout)
+	}
+	if err := rt.ing.Close(); err != nil {
+		log.Printf("uberd: ingest close: %v", err)
+	}
+	if err := rt.cons.Commit(); err != nil {
+		log.Printf("uberd: ingest commit: %v", err)
+	}
+	rt.cons.Close()
+	rows, dups, rounds := rt.ing.Stats()
+	log.Printf("uberd: ingested %d rows over %d rounds (%d redeliveries skipped)", rows, rounds, dups)
+}

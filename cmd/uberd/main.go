@@ -19,10 +19,20 @@
 // timeout (-request-timeout). /metrics and /debug/pprof stay outside the
 // chain so the server remains observable while it is being tortured.
 //
+// Streaming: with -bus DIR every backend layer publishes typed events to
+// an embedded broker (driver lifecycle and trips, surge multiplier moves,
+// served pings, injected faults); -bus-ingest DIR additionally runs the
+// live tsdb ingester in-process, growing a campaign store `analyze` can
+// read — no polling campaign required. Consumers in other processes tail
+// the same directory (cmd/bustail, analyze -follow). On SIGINT/SIGTERM
+// the server stops ticking and serving, then drains the ingest backlog
+// and flushes rows before consumer offsets.
+//
 // Usage:
 //
 //	uberd -city sf -addr :8080 -speedup 60 -jitter
 //	uberd -city sf -chaos-error 0.1 -chaos-latency 50ms -chaos-latency-prob 0.2 -max-inflight 64
+//	uberd -city manhattan -bus /tmp/ubus -bus-ingest /tmp/live.tsdb
 package main
 
 import (
@@ -63,6 +73,10 @@ func main() {
 		maxInflight   = flag.Int("max-inflight", 0, "shed load with 503 above this many in-flight requests (0 = unlimited)")
 		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
 		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request handler timeout (0 = none)")
+
+		busDir    = flag.String("bus", "", "publish backend events to an embedded bus broker at this directory")
+		busIngest = flag.String("bus-ingest", "", "live-ingest served pings into a tsdb campaign store at this directory (requires -bus)")
+		busDrop   = flag.Bool("bus-drop", false, "drop events instead of blocking publishers when a bus consumer falls behind")
 	)
 	flag.Parse()
 
@@ -81,20 +95,56 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *busIngest != "" && *busDir == "" {
+		fmt.Fprintln(os.Stderr, "-bus-ingest requires -bus")
+		os.Exit(2)
+	}
+
 	svc := api.NewBackendWorkers(profile, *seed, *jitter, *workers)
 	reg := obs.NewRegistry()
 	svc.Instrument(reg)
 	tracer := obs.NewTracer(4096)
 	svc.RunUntil(*warmup)
 
+	chaosCfg := chaos.Config{
+		Seed:         *chaosSeed,
+		ErrorProb:    *chaosError,
+		ResetProb:    *chaosReset,
+		TruncateProb: *chaosTruncate,
+		LatencyProb:  *chaosLatProb,
+		Latency:      *chaosLatency,
+	}
+	var injector *chaos.Injector
+	if chaosCfg.Enabled() {
+		injector = chaos.NewInjector(chaosCfg)
+		log.Printf("uberd: chaos enabled (seed %d, error %.3f, reset %.3f, truncate %.3f, latency %.3f up to %s)",
+			*chaosSeed, *chaosError, *chaosReset, *chaosTruncate, *chaosLatProb, *chaosLatency)
+	}
+
+	// The bus attaches after warmup: the burn-in is not part of the
+	// measured record, matching a campaign that starts against a warm
+	// backend.
+	var busRT *busRuntime
+	if *busDir != "" {
+		var err error
+		busRT, err = startBus(svc, injector, reg, *busDir, *busIngest, *busDrop)
+		if err != nil {
+			log.Fatalf("uberd: bus: %v", err)
+		}
+		log.Printf("uberd: bus at %s (ingest %q, drop %v)", *busDir, *busIngest, *busDrop)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Advance the simulation in real time until shutdown.
+	// Advance the simulation in real time until shutdown. The shutdown
+	// path waits for tickDone so no tick publishes to a closing bus.
 	tick := svc.World().TickSeconds()
 	interval := time.Duration(float64(tick) / *speedup * float64(time.Second))
 	ticker := time.NewTicker(interval)
+	tickDone := make(chan struct{})
 	go func() {
+		defer close(tickDone)
 		defer ticker.Stop()
 		for {
 			select {
@@ -114,18 +164,8 @@ func main() {
 	var apiHandler http.Handler = api.NewServer(svc, api.WithMetrics(reg), api.WithTracer(tracer))
 	apiHandler = chaos.Timeout(apiHandler, *reqTimeout, reg)
 	apiHandler = chaos.Recover(apiHandler, reg)
-	chaosCfg := chaos.Config{
-		Seed:         *chaosSeed,
-		ErrorProb:    *chaosError,
-		ResetProb:    *chaosReset,
-		TruncateProb: *chaosTruncate,
-		LatencyProb:  *chaosLatProb,
-		Latency:      *chaosLatency,
-	}
-	if chaosCfg.Enabled() {
-		apiHandler = chaos.NewInjector(chaosCfg).Middleware(apiHandler, reg)
-		log.Printf("uberd: chaos enabled (seed %d, error %.3f, reset %.3f, truncate %.3f, latency %.3f up to %s)",
-			*chaosSeed, *chaosError, *chaosReset, *chaosTruncate, *chaosLatProb, *chaosLatency)
+	if injector != nil {
+		apiHandler = injector.Middleware(apiHandler, reg)
 	}
 	apiHandler = chaos.Shed(apiHandler, *maxInflight, *retryAfter, reg)
 	mux := http.NewServeMux()
@@ -148,11 +188,19 @@ func main() {
 	case err := <-errCh:
 		log.Fatal(err)
 	case <-ctx.Done():
+		// Graceful shutdown, in dependency order: stop the tick loop (no
+		// new sim events), stop serving (no new ping events), then close
+		// the bus and let the ingest consumer drain its backlog and make
+		// rows + committed offsets durable.
 		log.Printf("uberd: shutting down (sim t=%d)", svc.Now())
+		<-tickDone
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("uberd: shutdown: %v", err)
+		}
+		if busRT != nil {
+			busRT.shutdown(10 * time.Second)
 		}
 	}
 }

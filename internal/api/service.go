@@ -69,6 +69,10 @@ type Service struct {
 	state    atomic.Pointer[queryState]
 	accounts accountTable
 
+	// events holds the optional bus sinks (see SetEventSinks); swapped
+	// atomically because the query path that fires them is lock-free.
+	events atomic.Pointer[eventSinks]
+
 	// locationFuzz perturbs reported car positions (§3.3: Uber stated
 	// car locations "may be slightly perturbed to protect drivers'
 	// safety"). 0 disables. The perturbation is deterministic per
@@ -132,6 +136,7 @@ func (s *Service) Instrument(reg *obs.Registry) {
 func (s *Service) Register(clientID string) error {
 	if s.accounts.register(clientID) {
 		s.mRegistrations.Inc()
+		s.emitRegister(clientID, s.Now())
 	}
 	return nil
 }
@@ -231,6 +236,7 @@ func (s *Service) PingClient(clientID string, loc geo.LatLng) (*core.PingRespons
 	if sv.InJitter(clientID, now) {
 		s.mJitterServed.Inc()
 	}
+	s.emitPing(clientID, loc, area, resp)
 	return resp, nil
 }
 

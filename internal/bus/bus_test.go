@@ -1,0 +1,423 @@
+package bus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTestBroker(t *testing.T, dir string, opts Options) *Broker {
+	t.Helper()
+	b, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return b
+}
+
+func mustTopic(t *testing.T, b *Broker, name string, parts int) *Topic {
+	t.Helper()
+	tp, err := b.Topic(name, parts)
+	if err != nil {
+		t.Fatalf("Topic(%s): %v", name, err)
+	}
+	return tp
+}
+
+func mustPublish(t *testing.T, tp *Topic, ev Event) {
+	t.Helper()
+	if err := tp.Publish(ev); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+}
+
+// drain consumes everything currently published.
+func drain(c *Consumer) []Event {
+	var out []Event
+	for {
+		ev, ok := c.TryNext()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestPerPartitionOrdering(t *testing.T) {
+	b := openTestBroker(t, t.TempDir(), Options{})
+	defer b.Close()
+	tp := mustTopic(t, b, "t", 4)
+
+	const keys, perKey = 13, 50
+	for i := 0; i < perKey; i++ {
+		for k := 0; k < keys; k++ {
+			mustPublish(t, tp, Event{
+				Time: int64(i), Kind: KindTripDispatch,
+				Key: fmt.Sprintf("car-%d", k), Num: float64(i),
+			})
+		}
+	}
+	c, err := tp.Subscribe("g")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer c.Close()
+	evs := drain(c)
+	if len(evs) != keys*perKey {
+		t.Fatalf("got %d events, want %d", len(evs), keys*perKey)
+	}
+	// Per-key order must match publish order, and per-partition Seq must
+	// be dense and monotone.
+	lastPerKey := make(map[string]int64)
+	lastSeq := make(map[int]int64)
+	for _, ev := range evs {
+		if prev, ok := lastPerKey[ev.Key]; ok && ev.Time <= prev {
+			t.Fatalf("key %s: time %d after %d", ev.Key, ev.Time, prev)
+		}
+		lastPerKey[ev.Key] = ev.Time
+		if prev, ok := lastSeq[ev.Part]; ok && ev.Seq != prev+1 {
+			t.Fatalf("partition %d: seq %d after %d", ev.Part, ev.Seq, prev)
+		} else if !ok && ev.Seq != 0 {
+			t.Fatalf("partition %d: first seq %d, want 0", ev.Part, ev.Seq)
+		}
+		lastSeq[ev.Part] = ev.Seq
+	}
+}
+
+func TestOffsetResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	b := openTestBroker(t, dir, Options{SegmentBytes: 256}) // force several segments
+	tp := mustTopic(t, b, "t", 2)
+	for i := 0; i < 100; i++ {
+		mustPublish(t, tp, Event{Time: int64(i), Kind: KindPing, Key: fmt.Sprintf("c-%d", i%7)})
+	}
+	c, err := tp.Subscribe("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstHalf []Event
+	for i := 0; i < 60; i++ {
+		ev, ok := c.TryNext()
+		if !ok {
+			t.Fatalf("TryNext dry after %d events", i)
+		}
+		firstHalf = append(firstHalf, ev)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	c.Close()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Restart: same dir, new broker. The group resumes where it
+	// committed; together the two sessions see every event exactly once
+	// (no crash between processing and commit here).
+	b2 := openTestBroker(t, dir, Options{SegmentBytes: 256})
+	defer b2.Close()
+	tp2 := mustTopic(t, b2, "t", 2)
+	for i := 100; i < 120; i++ {
+		mustPublish(t, tp2, Event{Time: int64(i), Kind: KindPing, Key: fmt.Sprintf("c-%d", i%7)})
+	}
+	c2, err := tp2.Subscribe("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rest := drain(c2)
+	if got, want := len(firstHalf)+len(rest), 120; got != want {
+		t.Fatalf("saw %d events across restart, want %d", got, want)
+	}
+	seen := make(map[string]int)
+	for _, ev := range append(firstHalf, rest...) {
+		seen[fmt.Sprintf("%d/%d", ev.Part, ev.Seq)]++
+	}
+	for off, n := range seen {
+		if n != 1 {
+			t.Fatalf("offset %s delivered %d times, want 1", off, n)
+		}
+	}
+}
+
+func TestAtLeastOnceRedeliveryWithoutCommit(t *testing.T) {
+	dir := t.TempDir()
+	b := openTestBroker(t, dir, Options{})
+	tp := mustTopic(t, b, "t", 1)
+	for i := 0; i < 20; i++ {
+		mustPublish(t, tp, Event{Time: int64(i), Kind: KindPing, Key: "k"})
+	}
+	c, _ := tp.Subscribe("g")
+	if got := len(drain(c)); got != 20 {
+		t.Fatalf("first consumer saw %d events, want 20", got)
+	}
+	// "Crash": no Commit. Close and restart.
+	c.Close()
+	b.Close()
+
+	b2 := openTestBroker(t, dir, Options{})
+	defer b2.Close()
+	tp2 := mustTopic(t, b2, "t", 1)
+	c2, _ := tp2.Subscribe("g")
+	defer c2.Close()
+	redelivered := drain(c2)
+	if len(redelivered) != 20 {
+		t.Fatalf("redelivered %d events, want all 20 (at-least-once)", len(redelivered))
+	}
+	for i, ev := range redelivered {
+		if ev.Seq != int64(i) || ev.Time != int64(i) {
+			t.Fatalf("redelivery out of order at %d: seq=%d time=%d", i, ev.Seq, ev.Time)
+		}
+	}
+}
+
+func TestResumeReadsFromDiskThenRing(t *testing.T) {
+	dir := t.TempDir()
+	b := openTestBroker(t, dir, Options{SegmentBytes: 512})
+	tp := mustTopic(t, b, "t", 1)
+	for i := 0; i < 50; i++ {
+		mustPublish(t, tp, Event{Time: int64(i), Kind: KindSurgeChange, Key: "area-01", Num: 1.5})
+	}
+	b.Close()
+
+	// The reopened broker's ring is empty: the first 50 events must come
+	// back from segment files, the next 10 from the live ring.
+	b2 := openTestBroker(t, dir, Options{SegmentBytes: 512})
+	defer b2.Close()
+	tp2 := mustTopic(t, b2, "t", 1)
+	c, _ := tp2.Subscribe("g")
+	defer c.Close()
+	for i := 50; i < 60; i++ {
+		mustPublish(t, tp2, Event{Time: int64(i), Kind: KindSurgeChange, Key: "area-01", Num: 1.5})
+	}
+	evs := drain(c)
+	if len(evs) != 60 {
+		t.Fatalf("got %d events, want 60", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Time != int64(i) {
+			t.Fatalf("event %d has time %d", i, ev.Time)
+		}
+		if ev.Key != "area-01" || ev.Num != 1.5 {
+			t.Fatalf("event %d corrupted: %+v", i, ev)
+		}
+	}
+}
+
+func TestBackpressureBlocksPublisher(t *testing.T) {
+	b := openTestBroker(t, t.TempDir(), Options{MaxInflight: 4096})
+	defer b.Close()
+	tp := mustTopic(t, b, "t", 1)
+	c, err := tp.Subscribe("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := make([]byte, 512)
+	blocked := make(chan struct{})
+	var published sync.WaitGroup
+	published.Add(1)
+	go func() {
+		defer published.Done()
+		for i := 0; i < 64; i++ {
+			if i == 16 {
+				// Well past MaxInflight/event-size by now if nothing
+				// blocked; signal progress so the test can assert the
+				// publisher is stuck before this point.
+				close(blocked)
+			}
+			if err := tp.Publish(Event{Time: int64(i), Kind: KindPing, Key: "k", Data: data}); err != nil {
+				t.Errorf("Publish: %v", err)
+				return
+			}
+		}
+	}()
+
+	// The publisher must stall before event 16: 4096/520 ≈ 7 events fit
+	// in flight with nothing consumed.
+	select {
+	case <-blocked:
+		t.Fatal("publisher ran past the in-flight budget without blocking")
+	case <-time.After(200 * time.Millisecond):
+	}
+	// A consuming reader releases it.
+	got := 0
+	for got < 64 {
+		if ev, ok := c.Next(); !ok {
+			t.Fatalf("consumer ended early after %d events", got)
+		} else if ev.Seq != int64(got) {
+			t.Fatalf("seq %d at position %d", ev.Seq, got)
+		}
+		got++
+	}
+	published.Wait()
+}
+
+func TestDropPolicyCountsDrops(t *testing.T) {
+	b := openTestBroker(t, t.TempDir(), Options{MaxInflight: 2048, Drop: true})
+	defer b.Close()
+	tp := mustTopic(t, b, "t", 1)
+	c, _ := tp.Subscribe("g")
+	defer c.Close()
+
+	data := make([]byte, 512)
+	var dropped int
+	for i := 0; i < 32; i++ {
+		err := tp.Publish(Event{Time: int64(i), Kind: KindPing, Key: "k", Data: data})
+		switch err {
+		case nil:
+		case ErrBackpressure:
+			dropped++
+		default:
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no events dropped despite a stalled consumer over the budget")
+	}
+	if kept := len(drain(c)); kept+dropped != 32 {
+		t.Fatalf("kept %d + dropped %d != 32", kept, dropped)
+	}
+}
+
+func TestConcurrentPublishConsumeRace(t *testing.T) {
+	// Exercised under -race in CI: concurrent publishers on distinct
+	// keys, one consumer, commit/lag in the loop.
+	b := openTestBroker(t, t.TempDir(), Options{MaxInflight: 1 << 16})
+	defer b.Close()
+	tp := mustTopic(t, b, "t", 4)
+	c, _ := tp.Subscribe("g")
+	defer c.Close()
+
+	const pubs, each = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < pubs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := tp.Publish(Event{Time: int64(i), Kind: KindPing, Key: fmt.Sprintf("p%d", g)}); err != nil {
+					t.Errorf("Publish: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	got := 0
+	for got < pubs*each {
+		if _, ok := c.Next(); !ok {
+			t.Fatalf("consumer ended early after %d", got)
+		}
+		got++
+		if got%100 == 0 {
+			if err := c.Commit(); err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+		}
+	}
+	wg.Wait()
+	if lag := c.Lag(); lag != 0 {
+		t.Fatalf("lag %d after full drain", lag)
+	}
+}
+
+func TestTailerFollowsLiveTopic(t *testing.T) {
+	dir := t.TempDir()
+	b := openTestBroker(t, dir, Options{SegmentBytes: 256})
+	defer b.Close()
+	tp := mustTopic(t, b, "surge.changes", 2)
+	for i := 0; i < 30; i++ {
+		mustPublish(t, tp, Event{Time: int64(i), Kind: KindSurgeChange, Key: fmt.Sprintf("area-%02d", i%5), Num: 1 + float64(i%4)/10})
+	}
+
+	tail, err := OpenTail(dir, "surge.changes")
+	if err != nil {
+		t.Fatalf("OpenTail: %v", err)
+	}
+	defer tail.Close()
+	evs := tail.Poll(nil)
+	if len(evs) != 30 {
+		t.Fatalf("tailer saw %d events, want 30", len(evs))
+	}
+	// More events arrive; the tailer picks up exactly the delta.
+	for i := 30; i < 45; i++ {
+		mustPublish(t, tp, Event{Time: int64(i), Kind: KindSurgeChange, Key: fmt.Sprintf("area-%02d", i%5), Num: 2})
+	}
+	more := tail.Poll(nil)
+	if len(more) != 15 {
+		t.Fatalf("tailer saw %d new events, want 15", len(more))
+	}
+	for _, ev := range more {
+		if ev.Num != 2 {
+			t.Fatalf("stale event in delta: %+v", ev)
+		}
+	}
+	if extra := tail.Poll(nil); len(extra) != 0 {
+		t.Fatalf("empty poll returned %d events", len(extra))
+	}
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	b := openTestBroker(t, dir, Options{})
+	tp := mustTopic(t, b, "t", 1)
+	for i := 0; i < 10; i++ {
+		mustPublish(t, tp, Event{Time: int64(i), Kind: KindPing, Key: "k"})
+	}
+	b.Close()
+
+	// Simulate a crash mid-frame: append garbage to the active segment.
+	segs, err := listSegments(filepath.Join(dir, "t", "p0"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d)", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x13, 0x37, 0x00})
+	f.Close()
+
+	b2 := openTestBroker(t, dir, Options{})
+	defer b2.Close()
+	tp2 := mustTopic(t, b2, "t", 1)
+	// The torn tail is gone; appends continue at offset 10.
+	mustPublish(t, tp2, Event{Time: 10, Kind: KindPing, Key: "k"})
+	c, _ := tp2.Subscribe("g")
+	defer c.Close()
+	evs := drain(c)
+	if len(evs) != 11 {
+		t.Fatalf("got %d events, want 11", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Time != int64(i) {
+			t.Fatalf("event %d has time %d", i, ev.Time)
+		}
+	}
+}
+
+func TestObservationRoundTrip(t *testing.T) {
+	o := Observation{
+		Client: "probe-07", Lat: 40.75, Lng: -73.99, Time: 3600,
+		Types: []TypeObs{
+			{Name: "UberX", Surge: 1.5, EWT: 240, Cars: []Car{
+				{ID: "sess-1", Lat: 40.74, Lng: -73.98},
+				{ID: "sess-2", Lat: 40.76, Lng: -74.0},
+			}},
+			{Name: "UberT", Surge: 1, EWT: 600},
+		},
+	}
+	enc := AppendObservation(nil, &o)
+	got, err := DecodeObservation(enc)
+	if err != nil {
+		t.Fatalf("DecodeObservation: %v", err)
+	}
+	re := AppendObservation(nil, &got)
+	if string(re) != string(enc) {
+		t.Fatalf("observation codec not canonical")
+	}
+}

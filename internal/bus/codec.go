@@ -1,0 +1,341 @@
+// The wire format.
+//
+// Segment file layout:
+//
+//	magic "UBERBUS1" (8 bytes)
+//	frame*: len u32 ‖ crc32(payload) u32 ‖ payload (one event)
+//
+// An event's offset is implied by its position: the segment's base offset
+// (from the file name) plus its frame index. The payload codec is a flat
+// varint encoding with a per-segment string dictionary: Key and Str
+// values repeat heavily (the same driver session across a trip, the same
+// area label every update), so each unique string is written once and
+// referenced by index afterwards. The dictionary resets at every segment
+// boundary, which keeps segments self-contained — a reader can start at
+// any segment with no external state.
+//
+// The codec is canonical: varints must be minimal, a dictionary
+// new-entry for an already-known string is rejected, and decoders must
+// consume their input exactly. Canonicality is what lets the fuzz target
+// assert decode→encode byte-identity, the same witness the tsdb codec
+// uses.
+
+package bus
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrCorrupt marks undecodable bytes (bad magic, bad CRC, non-canonical
+// or truncated payloads).
+var ErrCorrupt = errors.New("bus: corrupt data")
+
+const segMagic = "UBERBUS1"
+
+// Sanity caps applied when decoding untrusted bytes, generous multiples
+// of anything the backend actually publishes.
+const (
+	maxFramePayload = 1 << 22 // 4 MiB per event
+	maxDictEntries  = 4096    // unique strings per segment
+	maxStringLen    = 1 << 12
+	maxDataLen      = 1 << 21
+	maxObsTypes     = 256
+	maxObsCars      = 4096
+)
+
+// zigzag maps signed to unsigned so small magnitudes encode short.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// byteReader is a bounds-checked cursor over untrusted bytes. The first
+// error sticks; callers check err (or use the helpers' zero values) once
+// at the end.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail() { r.err = ErrCorrupt }
+
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+
+// uvarint decodes a minimally-encoded varint; a non-minimal encoding
+// (trailing zero continuation byte) is rejected to keep the codec
+// canonical.
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 || (n > 1 && r.b[r.off+n-1] == 0) {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) varint() int64 { return unzigzag(r.uvarint()) }
+
+func (r *byteReader) byte() byte {
+	if r.err != nil || r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *byteReader) f64() float64 {
+	if r.err != nil || r.remaining() < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// str decodes a raw (non-dictionary) length-prefixed string.
+func (r *byteReader) str() string {
+	n := r.uvarint()
+	if r.err != nil || n > maxStringLen || n > uint64(r.remaining()) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *byteReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil || n > maxDataLen || n > uint64(r.remaining()) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// encDict is the encoder side of the per-segment string dictionary.
+type encDict struct {
+	idx map[string]uint64
+}
+
+func newEncDict() *encDict { return &encDict{idx: make(map[string]uint64)} }
+
+// full reports whether the next event could overflow the dictionary (an
+// event introduces at most two new strings: Key and Str).
+func (d *encDict) full() bool { return len(d.idx)+2 > maxDictEntries }
+
+// appendStr writes s as a dictionary reference, adding it on first use:
+// a known string is its index; a new string is index==len(dict) followed
+// by the raw bytes.
+func (d *encDict) appendStr(buf []byte, s string) []byte {
+	if i, ok := d.idx[s]; ok {
+		return binary.AppendUvarint(buf, i)
+	}
+	i := uint64(len(d.idx))
+	d.idx[s] = i
+	buf = binary.AppendUvarint(buf, i)
+	return appendString(buf, s)
+}
+
+// decDict is the decoder side; it tracks entries both by index (for
+// references) and by value (to reject duplicate new-entries, which would
+// break canonicality).
+type decDict struct {
+	entries []string
+	seen    map[string]struct{}
+}
+
+func newDecDict() *decDict { return &decDict{seen: make(map[string]struct{})} }
+
+func (d *decDict) str(r *byteReader) string {
+	i := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if i < uint64(len(d.entries)) {
+		return d.entries[i]
+	}
+	if i != uint64(len(d.entries)) || i >= maxDictEntries {
+		r.fail()
+		return ""
+	}
+	s := r.str()
+	if r.err != nil {
+		return ""
+	}
+	if _, dup := d.seen[s]; dup {
+		// A new-entry for a known string: the canonical encoder would
+		// have emitted a reference.
+		r.fail()
+		return ""
+	}
+	d.entries = append(d.entries, s)
+	d.seen[s] = struct{}{}
+	return s
+}
+
+// toEnc rebuilds the matching encoder state, so a reopened segment keeps
+// encoding with the dictionary its existing frames established.
+func (d *decDict) toEnc() *encDict {
+	e := newEncDict()
+	for i, s := range d.entries {
+		e.idx[s] = uint64(i)
+	}
+	return e
+}
+
+// appendEvent appends ev's payload encoding (no frame) using dict.
+func appendEvent(buf []byte, ev *Event, dict *encDict) []byte {
+	buf = binary.AppendUvarint(buf, zigzag(ev.Time))
+	buf = append(buf, byte(ev.Kind))
+	buf = dict.appendStr(buf, ev.Key)
+	buf = binary.AppendUvarint(buf, zigzag(int64(ev.Area)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Num))
+	buf = dict.appendStr(buf, ev.Str)
+	buf = binary.AppendUvarint(buf, uint64(len(ev.Data)))
+	buf = append(buf, ev.Data...)
+	return buf
+}
+
+// decodeEvent decodes one payload, which must be consumed exactly.
+func decodeEvent(data []byte, dict *decDict) (Event, error) {
+	r := &byteReader{b: data}
+	var ev Event
+	ev.Time = r.varint()
+	ev.Kind = Kind(r.byte())
+	ev.Key = dict.str(r)
+	area := r.varint()
+	if area < math.MinInt32 || area > math.MaxInt32 {
+		return Event{}, ErrCorrupt
+	}
+	ev.Area = int32(area)
+	ev.Num = r.f64()
+	ev.Str = dict.str(r)
+	ev.Data = r.bytes()
+	if r.err != nil || r.remaining() != 0 {
+		return Event{}, ErrCorrupt
+	}
+	return ev, nil
+}
+
+// AppendObservation appends o's flat encoding. Unlike the event codec it
+// is stateless (an Observation travels inside one event's Data), but it
+// follows the same canonical rules.
+func AppendObservation(buf []byte, o *Observation) []byte {
+	buf = binary.AppendUvarint(buf, zigzag(o.Time))
+	buf = appendString(buf, o.Client)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Lat))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Lng))
+	buf = binary.AppendUvarint(buf, uint64(len(o.Types)))
+	for i := range o.Types {
+		t := &o.Types[i]
+		buf = appendString(buf, t.Name)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.Surge))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.EWT))
+		buf = binary.AppendUvarint(buf, uint64(len(t.Cars)))
+		for _, c := range t.Cars {
+			buf = appendString(buf, c.ID)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Lat))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Lng))
+		}
+	}
+	return buf
+}
+
+// DecodeObservation decodes data, which must contain exactly one
+// encoded Observation.
+func DecodeObservation(data []byte) (Observation, error) {
+	r := &byteReader{b: data}
+	var o Observation
+	o.Time = r.varint()
+	o.Client = r.str()
+	o.Lat = r.f64()
+	o.Lng = r.f64()
+	nTypes := r.uvarint()
+	// Each type costs ≥ 18 bytes (name prefix + two floats + car count).
+	if r.err != nil || nTypes > maxObsTypes || nTypes > uint64(r.remaining()/18+1) {
+		return Observation{}, ErrCorrupt
+	}
+	if nTypes > 0 {
+		o.Types = make([]TypeObs, 0, nTypes)
+	}
+	for i := uint64(0); i < nTypes; i++ {
+		var t TypeObs
+		t.Name = r.str()
+		t.Surge = r.f64()
+		t.EWT = r.f64()
+		nCars := r.uvarint()
+		// Each car costs ≥ 17 bytes (id prefix + two floats).
+		if r.err != nil || nCars > maxObsCars || nCars > uint64(r.remaining()/17+1) {
+			return Observation{}, ErrCorrupt
+		}
+		if nCars > 0 {
+			t.Cars = make([]Car, 0, nCars)
+		}
+		for j := uint64(0); j < nCars; j++ {
+			var c Car
+			c.ID = r.str()
+			c.Lat = r.f64()
+			c.Lng = r.f64()
+			t.Cars = append(t.Cars, c)
+		}
+		o.Types = append(o.Types, t)
+	}
+	if r.err != nil || r.remaining() != 0 {
+		return Observation{}, ErrCorrupt
+	}
+	return o, nil
+}
+
+// decodeFrames decodes every intact frame in a segment body (the bytes
+// after the magic), assigning offsets base, base+1, … It stops without
+// error at a torn tail — for the active segment that is simply the write
+// frontier; for sealed segments callers decide whether short is corrupt.
+// It returns the events, the byte size of the intact prefix (including
+// the magic), and the dictionary state after the last intact frame.
+func decodeFrames(body []byte, base int64) (evs []Event, goodSize int64, dict *decDict) {
+	dict = newDecDict()
+	goodSize = int64(len(segMagic))
+	off := 0
+	for {
+		if len(body)-off < 8 {
+			return evs, goodSize, dict
+		}
+		n := binary.LittleEndian.Uint32(body[off:])
+		crc := binary.LittleEndian.Uint32(body[off+4:])
+		if n > maxFramePayload || int(n) > len(body)-off-8 {
+			return evs, goodSize, dict
+		}
+		payload := body[off+8 : off+8+int(n)]
+		if crc32Sum(payload) != crc {
+			return evs, goodSize, dict
+		}
+		ev, err := decodeEvent(payload, dict)
+		if err != nil {
+			return evs, goodSize, dict
+		}
+		ev.Seq = base + int64(len(evs))
+		evs = append(evs, ev)
+		off += 8 + int(n)
+		goodSize += 8 + int64(n)
+	}
+}

@@ -1,0 +1,133 @@
+package bus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzEventCodec drives the bus wire format with raw bytes. The first
+// byte routes the operation; the rest is the input. Invariants:
+//
+//   - no decoder panics or over-allocates on arbitrary input
+//   - any accepted input re-encodes byte-identically (the codec is
+//     canonical, so decode is injective on the accepted set)
+//   - frame scanning (decodeFrames) accepts exactly a prefix of the
+//     body, and re-framing that prefix reproduces its bytes
+func FuzzEventCodec(f *testing.F) {
+	// A framed segment body with dictionary reuse across frames.
+	enc := newEncDict()
+	var seg []byte
+	for _, ev := range []Event{
+		{Time: 60, Kind: KindDriverSpawn, Key: "sess-aa", Area: 12},
+		{Time: 65, Kind: KindTripDispatch, Key: "sess-aa", Area: 12, Num: 1.5, Str: "UberX"},
+		{Time: 120, Kind: KindTripComplete, Key: "sess-aa", Area: 14, Num: 23.40, Str: "UberX"},
+	} {
+		payload := appendEvent(nil, &ev, enc)
+		seg = binary.LittleEndian.AppendUint32(seg, uint32(len(payload)))
+		seg = binary.LittleEndian.AppendUint32(seg, crc32Sum(payload))
+		seg = append(seg, payload...)
+	}
+	f.Add(append([]byte{0}, seg...))
+
+	ev := Event{Time: 3600, Kind: KindSurgeChange, Key: "area-07", Area: 7, Num: 2.1}
+	f.Add(append([]byte{1}, appendEvent(nil, &ev, newEncDict())...))
+
+	o := Observation{
+		Client: "probe-03", Lat: 40.7, Lng: -74.0, Time: 1800,
+		Types: []TypeObs{{Name: "UberX", Surge: 1.2, EWT: 300,
+			Cars: []Car{{ID: "s-1", Lat: 40.71, Lng: -74.01}}}},
+	}
+	f.Add(append([]byte{2}, AppendObservation(nil, &o)...))
+	f.Add([]byte{3, 0x80, 0x00})       // non-minimal varint
+	f.Add([]byte{0, 0xff, 0xff, 0xff}) // torn frame header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		op, body := data[0]%4, data[1:]
+		switch op {
+		case 0:
+			fuzzFrames(t, body)
+		case 1:
+			fuzzEvent(t, body)
+		case 2:
+			fuzzObservation(t, body)
+		case 3:
+			fuzzVarint(t, body)
+		}
+	})
+}
+
+// fuzzFrames: decodeFrames accepts a prefix; re-encoding the decoded
+// events with a fresh dictionary must reproduce that prefix exactly.
+func fuzzFrames(t *testing.T, body []byte) {
+	evs, goodSize, _ := decodeFrames(body, 100)
+	prefix := goodSize - int64(len(segMagic))
+	if prefix < 0 || prefix > int64(len(body)) {
+		t.Fatalf("goodSize %d out of range for %d-byte body", goodSize, len(body))
+	}
+	for i, ev := range evs {
+		if ev.Seq != 100+int64(i) {
+			t.Fatalf("frame %d assigned seq %d", i, ev.Seq)
+		}
+	}
+	enc := newEncDict()
+	var re []byte
+	for i := range evs {
+		payload := appendEvent(nil, &evs[i], enc)
+		re = binary.LittleEndian.AppendUint32(re, uint32(len(payload)))
+		re = binary.LittleEndian.AppendUint32(re, crc32Sum(payload))
+		re = append(re, payload...)
+	}
+	if !bytes.Equal(re, body[:prefix]) {
+		t.Fatalf("re-framing %d events: got %d bytes != accepted %d-byte prefix", len(evs), len(re), prefix)
+	}
+}
+
+// fuzzEvent: a single accepted payload re-encodes byte-identically
+// under the reconstructed dictionary state.
+func fuzzEvent(t *testing.T, body []byte) {
+	dict := newDecDict()
+	ev, err := decodeEvent(body, dict)
+	if err != nil {
+		return
+	}
+	re := appendEvent(nil, &ev, newEncDict())
+	if !bytes.Equal(re, body) {
+		t.Fatalf("event not canonical: %d bytes in, %d out", len(body), len(re))
+	}
+}
+
+func fuzzObservation(t *testing.T, body []byte) {
+	o, err := DecodeObservation(body)
+	if err != nil {
+		return
+	}
+	if len(o.Types) > maxObsTypes {
+		t.Fatalf("decoded %d types past cap", len(o.Types))
+	}
+	re := AppendObservation(nil, &o)
+	if !bytes.Equal(re, body) {
+		t.Fatalf("observation not canonical: %d bytes in, %d out", len(body), len(re))
+	}
+}
+
+// fuzzVarint: the canonical uvarint reader must agree with
+// binary.Uvarint on accepted values and reject non-minimal forms.
+func fuzzVarint(t *testing.T, body []byte) {
+	r := &byteReader{b: body}
+	v := r.uvarint()
+	if r.err != nil {
+		return
+	}
+	min := binary.AppendUvarint(nil, v)
+	if !bytes.Equal(min, body[:r.off]) {
+		t.Fatalf("accepted non-minimal varint for %d: %x vs %x", v, body[:r.off], min)
+	}
+	sv := unzigzag(zigzag(unzigzag(v)))
+	if sv != unzigzag(v) {
+		t.Fatalf("zigzag not involutive at %d", v)
+	}
+}

@@ -91,6 +91,31 @@ type Decision struct {
 type Injector struct {
 	cfg Config
 	seq atomic.Uint64
+
+	// onFault is the optional injected-fault callback (see SetFaultSink).
+	onFault atomic.Pointer[func(Fault, string)]
+}
+
+// SetFaultSink installs fn to be called for every injected fault with
+// the fault kind and the request path. The callback runs on the request
+// goroutine, concurrently; uberd uses it to publish chaos events to the
+// bus. Safe on a nil *Injector (no faults, nothing to observe).
+func (i *Injector) SetFaultSink(fn func(Fault, string)) {
+	if i == nil {
+		return
+	}
+	if fn == nil {
+		i.onFault.Store(nil)
+		return
+	}
+	i.onFault.Store(&fn)
+}
+
+// fireFault invokes the fault sink, if any.
+func (i *Injector) fireFault(f Fault, path string) {
+	if fn := i.onFault.Load(); fn != nil {
+		(*fn)(f, path)
+	}
 }
 
 // NewInjector builds an injector for cfg.

@@ -37,16 +37,19 @@ func (i *Injector) Middleware(next http.Handler, reg *obs.Registry) http.Handler
 		switch d.Fault {
 		case FaultError:
 			faults[FaultError].Inc()
+			i.fireFault(FaultError, r.URL.Path)
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusInternalServerError)
 			fmt.Fprintln(w, `{"error":"chaos: injected server error"}`)
 		case FaultReset:
 			faults[FaultReset].Inc()
+			i.fireFault(FaultReset, r.URL.Path)
 			// net/http treats ErrAbortHandler as "drop the connection
 			// without replying": the client observes a reset/EOF.
 			panic(http.ErrAbortHandler)
 		case FaultTruncate:
 			faults[FaultTruncate].Inc()
+			i.fireFault(FaultTruncate, r.URL.Path)
 			i.truncate(w, r, next)
 		default:
 			next.ServeHTTP(w, r)

@@ -1,0 +1,189 @@
+// LiveIngester: the bus→tsdb bridge. It consumes api.pings events off
+// the event bus and writes the exact rows the poll-based campaign
+// (measure -store tsdb) would have written, so cmd/analyze works
+// unchanged on a store that was ingested live.
+//
+// Series assignment: the first time a client ID appears it gets the next
+// series index, and the growing ID↔series map is persisted in the
+// campaign header (tsdb Extra) — a restarted ingester maps returning
+// clients back to their original series. Because the consumer drains
+// the topic's partitions round-robin, first-appearance order is a
+// stable but arbitrary interleaving of the clients, not campaign
+// order; ClientIDs in the header is the authoritative series→client
+// mapping, and comparisons against a poll-recorded store must join on
+// it rather than on raw series numbers.
+//
+// Delivery is at-least-once: after a crash between tsdb commit and
+// consumer-offset commit, the bus redelivers the tail. The ingester
+// deduplicates against each series' newest stored timestamp
+// (tsdb.SeriesLastTime), which survives restart, so replayed rows are
+// skipped rather than double-appended.
+
+package record
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/tsdb"
+)
+
+// LiveIngester writes bus ping events into a tsdb campaign store. Not
+// safe for concurrent use: one goroutine drives it (the bus consumer
+// loop).
+type LiveIngester struct {
+	db   *tsdb.DB
+	proj *geo.Projection
+	hdr  Header
+
+	series map[string]int // client ID → series index
+	last   map[int]int64  // series → newest appended time (dedup floor)
+
+	// roundTime is the timestamp of the round currently accumulating;
+	// an event with a later time commits the finished round first.
+	roundTime  int64
+	roundOpen  bool
+	rows, dups int64
+	rounds     int64
+}
+
+// NewLiveIngester opens (or resumes) a tsdb campaign store at dir fed
+// from the bus. hdr supplies City and Start for a fresh store; proj maps
+// client ping locations into the store's plane coordinates. On resume
+// the existing header wins and its client→series map is adopted.
+func NewLiveIngester(dir string, hdr Header, proj *geo.Projection, metrics *obs.Registry) (*LiveIngester, error) {
+	hdr.Version = Version
+	extra, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	db, err := tsdb.Open(dir, tsdb.Options{Extra: extra, Metrics: metrics})
+	if err != nil {
+		return nil, err
+	}
+	ing := &LiveIngester{
+		db:     db,
+		proj:   proj,
+		hdr:    hdr,
+		series: make(map[string]int),
+		last:   make(map[int]int64),
+	}
+	if stored, err := headerFromStore(db); err == nil {
+		ing.hdr = stored
+	}
+	if len(ing.hdr.ClientIDs) != len(ing.hdr.Clients) && len(ing.hdr.ClientIDs) > 0 {
+		db.Close()
+		return nil, fmt.Errorf("record: %s: header has %d client IDs for %d clients",
+			dir, len(ing.hdr.ClientIDs), len(ing.hdr.Clients))
+	}
+	for i, id := range ing.hdr.ClientIDs {
+		ing.series[id] = i
+		if t, ok := db.SeriesLastTime(i); ok {
+			ing.last[i] = t
+		}
+	}
+	return ing, nil
+}
+
+// Handle ingests one bus event. Non-ping events are ignored, so the
+// whole api.pings topic can be piped in unfiltered. It reports whether
+// the event closed out a ping round (one tsdb commit) — the caller
+// commits its consumer offsets on that signal, keeping "rows durable"
+// ahead of "offsets durable" (at-least-once).
+func (ing *LiveIngester) Handle(ev bus.Event) (roundDone bool, err error) {
+	if ev.Kind != bus.KindPing || len(ev.Data) == 0 {
+		return false, nil
+	}
+	o, err := bus.DecodeObservation(ev.Data)
+	if err != nil {
+		return false, fmt.Errorf("record: ping event %d/%d: %w", ev.Part, ev.Seq, err)
+	}
+
+	// A later timestamp means every client of the previous round has
+	// reported (the campaign serializes rounds): seal it.
+	if ing.roundOpen && o.Time > ing.roundTime {
+		if err := ing.commitRound(); err != nil {
+			return false, err
+		}
+		roundDone = true
+	}
+
+	idx, ok := ing.series[o.Client]
+	if !ok {
+		idx, err = ing.addClient(&o)
+		if err != nil {
+			return roundDone, err
+		}
+	}
+	if last, seen := ing.last[idx]; seen && o.Time <= last {
+		// Redelivered after a crash (or a duplicate ping inside one
+		// round): the batch path never writes two rows of a series with
+		// one timestamp, so neither do we.
+		ing.dups++
+		return roundDone, nil
+	}
+
+	row := tsdb.Row{Time: o.Time, Series: idx}
+	for i := range o.Types {
+		t := &o.Types[i]
+		tr := tsdb.TypeObs{Name: t.Name, Surge: t.Surge, EWT: t.EWT}
+		for _, c := range t.Cars {
+			tr.Cars = append(tr.Cars, tsdb.Car{ID: c.ID, Lat: c.Lat, Lng: c.Lng})
+		}
+		row.Types = append(row.Types, tr)
+	}
+	if err := ing.db.Append(row); err != nil {
+		return roundDone, err
+	}
+	ing.last[idx] = o.Time
+	ing.rows++
+	ing.roundTime = o.Time
+	ing.roundOpen = true
+	return roundDone, nil
+}
+
+// addClient assigns the next series index to a first-seen client and
+// persists the grown header.
+func (ing *LiveIngester) addClient(o *bus.Observation) (int, error) {
+	idx := len(ing.hdr.ClientIDs)
+	ing.hdr.ClientIDs = append(ing.hdr.ClientIDs, o.Client)
+	ing.hdr.Clients = append(ing.hdr.Clients, ing.proj.ToPlane(geo.LatLng{Lat: o.Lat, Lng: o.Lng}))
+	extra, err := json.Marshal(ing.hdr)
+	if err != nil {
+		return 0, err
+	}
+	if err := ing.db.SetExtra(extra); err != nil {
+		return 0, err
+	}
+	ing.series[o.Client] = idx
+	return idx, nil
+}
+
+// commitRound makes the accumulated round durable (one WAL fsync, like
+// the batch writer's EndRound).
+func (ing *LiveIngester) commitRound() error {
+	ing.roundOpen = false
+	ing.rounds++
+	return ing.db.Commit()
+}
+
+// Stats reports rows appended, redeliveries skipped, and rounds
+// committed by this ingester instance.
+func (ing *LiveIngester) Stats() (rows, dups, rounds int64) {
+	return ing.rows, ing.dups, ing.rounds
+}
+
+// Close seals the open round, if any, and closes the store.
+func (ing *LiveIngester) Close() error {
+	var err error
+	if ing.roundOpen {
+		err = ing.commitRound()
+	}
+	if cerr := ing.db.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

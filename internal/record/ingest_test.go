@@ -1,0 +1,230 @@
+package record
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/bus"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// ingestRowCollector records every replayed observation as a canonical string
+// per round. Rows are keyed by client ID, not series index: the live
+// ingester numbers series in bus-delivery (partition round-robin)
+// order, a stable but arbitrary permutation of campaign order, so raw
+// indices are not comparable across stores. Positions are ignored (the
+// live header roundtrips them through LatLng so the plane points
+// differ in the last ulps; the rows themselves carry no positions).
+type ingestRowCollector struct {
+	ids  []string // series index → client ID
+	rows map[int64][]string
+}
+
+func (rc *ingestRowCollector) Observe(clientIdx int, pos geo.Point, resp *core.PingResponse) {
+	id := fmt.Sprintf("series-%d", clientIdx)
+	if clientIdx >= 0 && clientIdx < len(rc.ids) {
+		id = rc.ids[clientIdx]
+	}
+	for i := range resp.Types {
+		ts := &resp.Types[i]
+		s := fmt.Sprintf("%s|%s|%g|%g", id, ts.TypeName, ts.Surge, ts.EWTSeconds)
+		for _, c := range ts.Cars {
+			s += fmt.Sprintf("|%s@%.9f,%.9f", c.ID, c.Pos.Lat, c.Pos.Lng)
+		}
+		rc.rows[resp.Time] = append(rc.rows[resp.Time], s)
+	}
+}
+
+func (rc *ingestRowCollector) EndRound(int64) {}
+
+func collectStore(t *testing.T, path string) (map[int64][]string, int64) {
+	t.Helper()
+	hdr, err := ReadHeaderPath(path)
+	if err != nil {
+		t.Fatalf("read header %s: %v", path, err)
+	}
+	rc := &ingestRowCollector{ids: hdr.ClientIDs, rows: make(map[int64][]string)}
+	_, rounds, err := ReplayPath(path, rc)
+	if err != nil {
+		t.Fatalf("replay %s: %v", path, err)
+	}
+	for _, rows := range rc.rows {
+		sort.Strings(rows)
+	}
+	return rc.rows, rounds
+}
+
+// TestLiveIngestMatchesBatchStore runs one campaign writing the batch
+// tsdb store (the poll path measure uses) while publishing the same
+// served responses over the bus, ingests the bus topic into a second
+// store — with a mid-stream ingester restart to exercise offset resume
+// and at-least-once dedup — and asserts both stores replay identical
+// per-round row sets.
+func TestLiveIngestMatchesBatchStore(t *testing.T) {
+	profile := sim.Manhattan()
+	svc := api.NewBackend(profile, 21, true)
+	pts := client.GridLayout(profile.MeasureRect, profile.ClientSpacing, 12)
+	camp := client.NewCampaign(svc, svc.World().Projection(), pts)
+	if err := camp.RegisterAll(svc); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	batchDir := filepath.Join(dir, "batch")
+	liveDir := filepath.Join(dir, "live")
+	ids := make([]string, len(pts))
+	for i := range ids {
+		ids[i] = fmt.Sprintf("probe-%02d", i)
+	}
+	hdr := Header{City: profile.Name, Start: 0, Clients: pts, ClientIDs: ids}
+	batch, err := CreateTSDB(batchDir, hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.AddSink(batch)
+
+	br, err := bus.Open(filepath.Join(dir, "bus"), bus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	topic, err := br.Topic(bus.TopicPings, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetEventSinks(func(ev bus.Event) {
+		if err := topic.Publish(ev); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+	}, nil)
+
+	camp.RunSim(svc, 1800)
+	if err := batch.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ingestHdr := Header{City: profile.Name, Start: 0}
+	proj := svc.World().Projection()
+
+	// First ingester session: stop mid-stream without committing the
+	// tail, as a crash would.
+	cons, err := topic.Subscribe("ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := NewLiveIngester(liveDir, ingestHdr, proj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 1000; n++ {
+		ev, ok := cons.TryNext()
+		if !ok {
+			t.Fatal("bus drained before the restart point; lower the cutoff")
+		}
+		done, err := ing.Handle(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if err := cons.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cons.Close()
+
+	// Second session: resumes from the last committed round and must
+	// skip the redelivered tail of the first.
+	cons2, err := topic.Subscribe("ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing2, err := NewLiveIngester(liveDir, ingestHdr, proj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, ok := cons2.TryNext()
+		if !ok {
+			break
+		}
+		done, err := ing2.Handle(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if err := cons2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, dups, _ := ing2.Stats()
+	if dups == 0 {
+		t.Error("restart redelivered nothing: the at-least-once dedup path went unexercised")
+	}
+	if err := ing2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cons2.Close()
+
+	batchRows, batchRounds := collectStore(t, batchDir)
+	liveRows, liveRounds := collectStore(t, liveDir)
+	if batchRounds == 0 {
+		t.Fatal("batch store replayed zero rounds")
+	}
+	if batchRounds != liveRounds {
+		t.Errorf("rounds: batch %d, live %d", batchRounds, liveRounds)
+	}
+	if len(batchRows) != len(liveRows) {
+		t.Fatalf("round timestamps: batch %d, live %d", len(batchRows), len(liveRows))
+	}
+	for tm, want := range batchRows {
+		got, ok := liveRows[tm]
+		if !ok {
+			t.Fatalf("round %d missing from live store", tm)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: batch %d rows, live %d rows", tm, len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d row %d differs:\n  batch: %s\n  live:  %s", tm, i, want[i], got[i])
+			}
+		}
+	}
+
+	// The live header must name every campaign client exactly once (in
+	// bus-delivery order, some permutation of campaign order), with each
+	// series' stored position matching that client's grid point.
+	liveHdr, err := ReadHeaderPath(liveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveHdr.ClientIDs) != len(pts) {
+		t.Fatalf("live header has %d client IDs, want %d", len(liveHdr.ClientIDs), len(pts))
+	}
+	seen := make(map[string]bool)
+	for i, id := range liveHdr.ClientIDs {
+		if seen[id] {
+			t.Fatalf("client %s mapped to two series", id)
+		}
+		seen[id] = true
+		var campIdx int
+		if _, err := fmt.Sscanf(id, "probe-%d", &campIdx); err != nil || campIdx < 0 || campIdx >= len(pts) {
+			t.Fatalf("unexpected client ID %q in live header", id)
+		}
+		want, got := pts[campIdx], liveHdr.Clients[i]
+		if dx, dy := got.X-want.X, got.Y-want.Y; dx*dx+dy*dy > 1e-6 {
+			t.Errorf("series %d (%s) stored at %v, campaign placed it at %v", i, id, got, want)
+		}
+	}
+}

@@ -36,6 +36,11 @@ type Header struct {
 	City    string      `json:"city"`
 	Start   int64       `json:"start"`
 	Clients []geo.Point `json:"clients"`
+	// ClientIDs names each series' client account, index-aligned with
+	// Clients. Batch recordings may omit it (their series order is the
+	// campaign's construction order); the live bus ingester writes it so
+	// a resumed ingest maps returning clients to their original series.
+	ClientIDs []string `json:"client_ids,omitempty"`
 }
 
 type carRec struct {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/obs"
@@ -151,6 +152,10 @@ type World struct {
 	// per-shard commit buffers of the parallel movement phase.
 	workers int
 	moveOps []shardOps
+
+	// events receives lifecycle/trip events (see SetEventSink); nil when
+	// nothing listens. Only serial phases call it.
+	events func(bus.Event)
 
 	// nil-safe metric handles; zero until Instrument is called. The
 	// counters mirror the lifetime totals by delta so Prometheus sees
@@ -551,6 +556,7 @@ func (w *World) ForceOffline(vt core.VehicleType, area int, n int, duration int6
 		w.suspended = append(w.suspended, suspendedDriver{
 			vt: d.Type, pos: d.Pos, returnAt: w.now + duration,
 		})
+		w.emitDriver(bus.KindDriverSuspend, d, float64(duration), d.Type.String())
 		w.removeDriver(i)
 		w.TotalSuspended++
 		i--
@@ -571,8 +577,9 @@ func (w *World) resumeSuspended() {
 			live = append(live, s)
 			continue
 		}
-		w.addDriver(s.vt, s.pos)
+		d := w.addDriver(s.vt, s.pos)
 		w.TotalResumed++
+		w.emitDriver(bus.KindDriverResume, d, 0, d.Type.String())
 	}
 	w.suspended = live
 }
@@ -624,6 +631,7 @@ func (w *World) spawnArrivals(dt float64) {
 			w.grids[int(d.Type)].Move(d.ID, alt)
 			d.Pos = alt
 		}
+		w.emitDriver(bus.KindDriverSpawn, d, 0, d.Type.String())
 	}
 }
 
@@ -686,9 +694,23 @@ func (w *World) moveDrivers(dt float64) {
 			w.grids[vt].MoveBatch(o.moves[vt])
 			w.grids[vt].InsertBatch(o.inserts[vt])
 		}
+		if w.events != nil {
+			// A re-inserted driver just finished a trip; the commit loop
+			// runs serially in shard order, so emission order is stable.
+			for vt := range o.inserts {
+				for _, ip := range o.inserts[vt] {
+					if idx, ok := w.driverIdx[ip.ID]; ok {
+						w.emitDriver(bus.KindTripComplete, w.drivers[idx], 0, core.VehicleType(vt).String())
+					}
+				}
+			}
+		}
 		for _, id := range o.removals {
-			w.removeDriver(w.driverIdx[id])
+			idx := w.driverIdx[id]
+			d := w.drivers[idx]
+			w.removeDriver(idx)
 			w.TotalOffline++
+			w.emitDriver(bus.KindDriverOffline, d, 0, d.Type.String())
 		}
 	}
 }
@@ -902,6 +924,7 @@ func (w *World) oneRequestAt(pickup geo.Point, area int) {
 	if area >= 0 {
 		w.areaStats[area].Pickups++
 	}
+	w.emit(bus.KindTripDispatch, d.Session, area, price, vt.String())
 }
 
 // settleFare charges the passenger the upfront fare for the trip estimate
@@ -953,6 +976,7 @@ func (w *World) joinPool(pickup geo.Point, area int) bool {
 		if area >= 0 {
 			w.areaStats[area].Pickups++
 		}
+		w.emit(bus.KindTripDispatch, d.Session, area, 1, "POOL/join")
 		return true
 	}
 	return false

@@ -20,10 +20,12 @@
 package surge
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -89,7 +91,18 @@ type Engine struct {
 	hUpdateDur  *obs.Histogram
 	gMaxMult    *obs.Gauge
 	gSurgeAreas *obs.Gauge
+
+	// events receives one SurgeChange per area whose multiplier moved at
+	// an update (see SetEventSink); areaKeys holds the precomputed
+	// per-area event keys so the update loop does not format strings.
+	events   func(bus.Event)
+	areaKeys []string
 }
+
+// SetEventSink installs fn to receive a bus.KindSurgeChange event for
+// every area whose multiplier changes at an update boundary. The
+// callback runs synchronously inside update. Pass nil to detach.
+func (e *Engine) SetEventSink(fn func(bus.Event)) { e.events = fn }
 
 // Instrument wires the engine's metrics into reg:
 //
@@ -123,6 +136,10 @@ func New(w *sim.World, cfg Config) *Engine {
 		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5e1fca5e)),
 		cur:   ones(n),
 		prev:  ones(n),
+	}
+	e.areaKeys = make([]string, n)
+	for a := range e.areaKeys {
+		e.areaKeys[a] = fmt.Sprintf("area-%02d", a)
 	}
 	e.scheduleSwitches(w.Now() - w.Now()%UpdatePeriod)
 	e.rebuildView()
@@ -221,6 +238,12 @@ func (e *Engine) update(boundary int64) {
 	for a := range e.cur {
 		if e.cur[a] != e.prev[a] {
 			changed++
+			if e.events != nil {
+				e.events(bus.Event{
+					Time: boundary, Kind: bus.KindSurgeChange,
+					Key: e.areaKeys[a], Area: int32(a), Num: e.cur[a],
+				})
+			}
 		}
 		if e.cur[a] > maxMult {
 			maxMult = e.cur[a]

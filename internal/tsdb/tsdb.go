@@ -331,6 +331,48 @@ func (db *DB) recoverWAL() error {
 // Extra returns the application blob stored at creation.
 func (db *DB) Extra() json.RawMessage { return db.meta.Extra }
 
+// SetExtra atomically replaces the application blob in META.json. The
+// live ingester uses it to grow the campaign header as new clients
+// appear on the bus.
+func (db *DB) SetExtra(extra json.RawMessage) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("tsdb: database closed")
+	}
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	meta := db.meta
+	meta.Extra = extra
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(db.dir, "META.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(db.dir)
+	db.meta = meta
+	return nil
+}
+
+// SeriesLastTime returns the newest timestamp stored for a series (over
+// sealed segments, recovered WAL rows, and the live head), or ok=false
+// if the series has no rows. An at-least-once consumer uses it to skip
+// redelivered rows.
+func (db *DB) SeriesLastTime(series int) (int64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.lastTime[series]
+	return t, ok
+}
+
 // Recovered returns how many rows were replayed from the WAL at Open — the
 // rows a crash would otherwise have lost.
 func (db *DB) Recovered() int { return db.recovered }
