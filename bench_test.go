@@ -309,3 +309,69 @@ func BenchmarkAblationJitter(b *testing.B) {
 		})
 	}
 }
+
+// --- Fleet-scale sweep -------------------------------------------------
+//
+// The benchmarks below are the performance contract for the ROADMAP's
+// "1M drivers stepping in real time" north-star. They step a bare world
+// (no campaign, no surge engine) so the numbers isolate the simulation
+// tick: struct-of-arrays movement, parallel spawn/dispatch, and the
+// incremental snapshot. BENCH_step.json records the blessed numbers for
+// these benchmarks (plus the pre-refactor AoS figures they replaced) and
+// cmd/benchgate compares fresh runs against it in CI.
+
+// fleetWorld builds a Manhattan world rescaled to seed ~n drivers at the
+// midnight diurnal trough. The peak targets are the exact values the AoS
+// baselines in BENCH_step.json were recorded with — keep them in sync.
+func fleetWorld(b *testing.B, name string) *sim.World {
+	b.Helper()
+	p := sim.Manhattan()
+	switch name {
+	case "10k":
+		p.PeakDrivers, p.PeakRequestsPerHour = 22200, 2600
+	case "100k":
+		p.PeakDrivers, p.PeakRequestsPerHour = 222000, 26000
+	case "1M":
+		p.PeakDrivers, p.PeakRequestsPerHour = 2220000, 260000
+	default:
+		b.Fatalf("unknown fleet size %q", name)
+	}
+	return sim.NewWorld(sim.Config{Profile: p, Seed: 1, Workers: 1})
+}
+
+// BenchmarkStep measures one serial world tick at three fleet sizes.
+// Workers is pinned to 1 so the number tracks per-core throughput (the
+// phase-parallel speedup is worker-invariant by construction and
+// benchmarked separately in internal/sim).
+func BenchmarkStep(b *testing.B) {
+	for _, size := range []string{"10k", "100k", "1M"} {
+		b.Run("fleet="+size, func(b *testing.B) {
+			w := fleetWorld(b, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotDelta measures the incremental snapshot build: each
+// iteration steps the world off the clock, then times only the delta
+// rebuild of the cells the tick touched.
+func BenchmarkSnapshotDelta(b *testing.B) {
+	for _, size := range []string{"10k", "100k"} {
+		b.Run("fleet="+size, func(b *testing.B) {
+			w := fleetWorld(b, size)
+			w.Snapshot() // pay the full first build before the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w.Step()
+				b.StartTimer()
+				_ = w.Snapshot()
+			}
+		})
+	}
+}

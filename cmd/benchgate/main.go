@@ -1,0 +1,149 @@
+// Command benchgate compares a `go test -bench` run against the committed
+// baseline in BENCH_step.json and fails CI when the fleet-scale tick
+// regresses. It reads the benchmark output on stdin:
+//
+//	go test -run '^$' -bench 'BenchmarkStep|BenchmarkSnapshotDelta' \
+//	    -benchtime 5x -benchmem . | go run ./cmd/benchgate
+//
+// Two gates, applied to every benchmark in the baseline's "gate" section:
+//
+//   - allocs/op may not regress anywhere. Allocation counts in a
+//     deterministic simulation are machine-independent, so this gate runs
+//     on every host. The comparison allows 1% + 8 allocs of slack: worker
+//     goroutine wakeups and map growth timing make the count almost — but
+//     not exactly — reproducible run to run.
+//   - ns/op may not regress by more than the baseline's tolerance
+//     (default 15%), gated only when the host's `cpu:` line matches the
+//     baseline host exactly. Wall-clock on a different CPU says nothing
+//     about a regression, so foreign hosts only report.
+//
+// A gate benchmark missing from the input is an error — the sweep cannot
+// silently shrink. Bytes/op are reported but not gated (they track allocs
+// and the Go version's size classes too closely to pin).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+type baseline struct {
+	Host struct {
+		CPU string `json:"cpu"`
+	} `json:"host"`
+	Gate struct {
+		Benchtime   string             `json:"benchtime"`
+		NsTolerance float64            `json:"ns_tolerance"`
+		Benchmarks  map[string]metrics `json:"benchmarks"`
+	} `json:"gate"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, with or
+// without the -N GOMAXPROCS suffix benchmark names carry on SMP hosts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	baseFile := flag.String("baseline", "BENCH_step.json", "committed baseline file")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baseFile)
+	if err != nil {
+		fatalf("benchgate: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("benchgate: %s: %v", *baseFile, err)
+	}
+	if len(base.Gate.Benchmarks) == 0 {
+		fatalf("benchgate: %s has no gate benchmarks", *baseFile)
+	}
+	tol := base.Gate.NsTolerance
+	if tol <= 0 {
+		tol = 0.15
+	}
+
+	got := map[string]metrics{}
+	hostCPU := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := cutPrefix(line, "cpu: "); ok {
+			hostCPU = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		b, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		got[m[1]] = metrics{NsOp: ns, BOp: b, AllocsOp: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("benchgate: reading stdin: %v", err)
+	}
+
+	sameCPU := hostCPU != "" && hostCPU == base.Host.CPU
+	if !sameCPU {
+		fmt.Printf("benchgate: host cpu %q != baseline %q; ns/op reported but not gated\n",
+			hostCPU, base.Host.CPU)
+	}
+
+	failed := false
+	for name, want := range base.Gate.Benchmarks {
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %s: missing from benchmark output\n", name)
+			failed = true
+			continue
+		}
+		nsRatio := have.NsOp / want.NsOp
+		status := "ok  "
+		// Allocation gate: machine-independent, always on.
+		allocCap := want.AllocsOp + want.AllocsOp/100 + 8
+		if have.AllocsOp > allocCap {
+			status = "FAIL"
+			failed = true
+			fmt.Printf("FAIL %s: %d allocs/op, baseline %d (cap %d)\n",
+				name, have.AllocsOp, want.AllocsOp, allocCap)
+		}
+		// Time gate: only meaningful on the baseline host.
+		if sameCPU && nsRatio > 1+tol {
+			status = "FAIL"
+			failed = true
+			fmt.Printf("FAIL %s: %.0f ns/op is %.2fx baseline %.0f (tolerance %.0f%%)\n",
+				name, have.NsOp, nsRatio, want.NsOp, tol*100)
+		}
+		fmt.Printf("%s %-40s ns/op %12.0f (%.2fx base)   B/op %10d   allocs/op %6d (base %d)\n",
+			status, name, have.NsOp, nsRatio, have.BOp, have.AllocsOp, want.AllocsOp)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates passed")
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

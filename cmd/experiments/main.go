@@ -25,6 +25,7 @@ func main() {
 		out      = flag.String("out", "", "output file (default stdout)")
 		preamble = flag.Bool("preamble", false, "prepend the EXPERIMENTS.md reading guide")
 		workers  = flag.Int("sim-workers", 0, "parallel tick workers per city simulation (0 = GOMAXPROCS; results are identical for any value)")
+		scale    = flag.Float64("fleet-scale", 1, "multiply each city's driver and request targets (load testing; 1 = calibrated size)")
 	)
 	flag.Parse()
 
@@ -44,10 +45,11 @@ func main() {
 		experiments.WritePreamble(w)
 	}
 	experiments.Report(w, experiments.Options{
-		Seed:    *seed,
-		Days:    *days,
-		Hours:   *hours,
-		Jitter:  true,
-		Workers: *workers,
+		Seed:       *seed,
+		Days:       *days,
+		Hours:      *hours,
+		Jitter:     true,
+		Workers:    *workers,
+		FleetScale: *scale,
 	})
 }

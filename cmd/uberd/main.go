@@ -63,6 +63,7 @@ func main() {
 		speedup = flag.Float64("speedup", 60, "simulation seconds per wall-clock second")
 		warmup  = flag.Int64("warmup", 600, "simulation seconds to run before serving")
 		workers = flag.Int("sim-workers", 0, "parallel tick workers for the simulation (0 = GOMAXPROCS; results are identical for any value)")
+		scale   = flag.Float64("fleet-scale", 1, "multiply the city's driver and request targets (load testing; 1 = calibrated size)")
 
 		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed (same seed replays the same fault sequence)")
 		chaosError    = flag.Float64("chaos-error", 0, "probability of answering a request with an injected 500")
@@ -94,6 +95,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-speedup must be positive")
 		os.Exit(2)
 	}
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "-fleet-scale must be positive")
+		os.Exit(2)
+	}
+	profile = profile.Scale(*scale)
 
 	if *busIngest != "" && *busDir == "" {
 		fmt.Fprintln(os.Stderr, "-bus-ingest requires -bus")

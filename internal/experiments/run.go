@@ -42,6 +42,9 @@ type Options struct {
 	// Workers is the simulation's phase-parallel tick worker count
 	// (0 = GOMAXPROCS). Campaign results are identical for every value.
 	Workers int
+	// FleetScale multiplies each profile's driver and request targets
+	// (see sim.CityProfile.Scale); 0 or 1 runs the calibrated size.
+	FleetScale float64
 }
 
 // StrategyStats aggregates Figs 23/24 inputs for one client position.
@@ -164,6 +167,9 @@ func (tt *truthTracker) tick() {
 
 // RunCity executes the full campaign for a profile.
 func RunCity(profile *sim.CityProfile, opts Options) *CityRun {
+	if opts.FleetScale > 0 {
+		profile = profile.Scale(opts.FleetScale)
+	}
 	if opts.Days <= 0 {
 		opts.Days = 1
 	}

@@ -139,12 +139,21 @@ func (r Rect) Center() Point {
 	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
 }
 
-// Clamp returns the nearest point to p inside r.
+// Clamp returns the nearest point to p inside r. Branches instead of
+// math.Min/Max: this sits on the per-driver cruise path, where the
+// function-call dispatch for the NaN-propagating versions is measurable.
 func (r Rect) Clamp(p Point) Point {
-	return Point{
-		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
-		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	if p.X < r.Min.X {
+		p.X = r.Min.X
+	} else if p.X > r.Max.X {
+		p.X = r.Max.X
 	}
+	if p.Y < r.Min.Y {
+		p.Y = r.Min.Y
+	} else if p.Y > r.Max.Y {
+		p.Y = r.Max.Y
+	}
+	return p
 }
 
 // DistToBoundary returns the distance from p to the nearest edge of r.

@@ -1,0 +1,148 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSlotGridMatchesBruteForce churns a SlotGrid through random
+// insert/move/remove traffic and checks KNearest and FirstWithin against
+// brute-force scans after every batch.
+func TestSlotGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := Rect{Min: Point{X: 0, Y: 0}, Max: Point{X: 5000, Y: 3000}}
+	g := NewSlotGrid(bounds, 250)
+	ref := map[int32]Point{} // live slots
+
+	randPoint := func() Point {
+		return Point{
+			X: bounds.Min.X - 200 + rng.Float64()*(bounds.Width()+400),
+			Y: bounds.Min.Y - 200 + rng.Float64()*(bounds.Height()+400),
+		}
+	}
+	const slots = 400
+	for round := 0; round < 60; round++ {
+		for op := 0; op < 50; op++ {
+			s := int32(rng.Intn(slots))
+			switch rng.Intn(3) {
+			case 0:
+				p := randPoint()
+				g.Insert(s, p)
+				ref[s] = p
+			case 1:
+				p := randPoint()
+				g.Move(s, p)
+				ref[s] = p
+			case 2:
+				g.Remove(s)
+				delete(ref, s)
+			}
+		}
+		if g.Len() != len(ref) {
+			t.Fatalf("round %d: Len = %d, want %d", round, g.Len(), len(ref))
+		}
+		for _, s := range []int32{0, 5, 100} {
+			p, ok := g.Position(s)
+			wp, wok := ref[s]
+			if ok != wok || (ok && p != wp) {
+				t.Fatalf("round %d: Position(%d) = %v,%v want %v,%v", round, s, p, ok, wp, wok)
+			}
+		}
+		from := randPoint()
+		for _, k := range []int{1, 4, 8, 1000} {
+			got := g.KNearest(from, k)
+			want := bruteNearest(ref, from, k)
+			if len(got) != len(want) {
+				t.Fatalf("round %d k=%d: got %d results, want %d", round, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Slot != want[i].Slot || got[i].Dist != want[i].Dist {
+					t.Fatalf("round %d k=%d idx=%d: got slot %d dist %v, want slot %d dist %v",
+						round, k, i, got[i].Slot, got[i].Dist, want[i].Slot, want[i].Dist)
+				}
+			}
+		}
+		for _, radius := range []float64{100, 800, 10000} {
+			got := g.FirstWithin(from, radius)
+			want := int32(-1)
+			for s, p := range ref {
+				if Dist(from, p) <= radius && (want < 0 || s < want) {
+					want = s
+				}
+			}
+			if got != want {
+				t.Fatalf("round %d radius=%v: FirstWithin = %d, want %d", round, radius, got, want)
+			}
+		}
+	}
+}
+
+func bruteNearest(ref map[int32]Point, from Point, k int) []SlotNeighbor {
+	all := make([]SlotNeighbor, 0, len(ref))
+	for s, p := range ref {
+		all = append(all, SlotNeighbor{Slot: s, Pos: p, Dist: Dist(from, p)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Slot < all[j].Slot
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestSlotGridMatchesGrid pins the equivalence the sim's worker-invariance
+// rests on: SlotGrid and the legacy Grid must return the same neighbors in
+// the same order when slot numbers coincide with ids.
+func TestSlotGridMatchesGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bounds := Rect{Min: Point{X: -1000, Y: -1000}, Max: Point{X: 4000, Y: 6000}}
+	sg := NewSlotGrid(bounds, 250)
+	og := NewGrid(bounds, 250)
+	for i := 0; i < 500; i++ {
+		p := Point{X: rng.Float64()*6000 - 1500, Y: rng.Float64()*8000 - 1500}
+		sg.Insert(int32(i), p)
+		og.Insert(int64(i), p)
+	}
+	for q := 0; q < 200; q++ {
+		from := Point{X: rng.Float64() * 4000, Y: rng.Float64() * 6000}
+		a := sg.KNearest(from, 8)
+		b := og.KNearest(from, 8)
+		if len(a) != len(b) {
+			t.Fatalf("q=%d: SlotGrid %d results, Grid %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if int64(a[i].Slot) != b[i].ID || a[i].Dist != b[i].Dist {
+				t.Fatalf("q=%d idx=%d: SlotGrid (%d, %v), Grid (%d, %v)",
+					q, i, a[i].Slot, a[i].Dist, b[i].ID, b[i].Dist)
+			}
+		}
+	}
+}
+
+// BenchmarkSlotGridMove measures the O(1) move path against steady churn.
+func BenchmarkSlotGridMove(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bounds := Rect{Min: Point{}, Max: Point{X: 20000, Y: 20000}}
+	g := NewSlotGrid(bounds, 250)
+	const n = 10000
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 20000, Y: rng.Float64() * 20000}
+		g.Insert(int32(i), pts[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := int32(i % n)
+		pts[s].X += 15
+		if pts[s].X > 20000 {
+			pts[s].X = 0
+		}
+		g.Move(s, pts[s])
+	}
+}

@@ -31,11 +31,12 @@ func (w *World) emit(kind bus.Kind, key string, area int, num float64, str strin
 	})
 }
 
-// emitDriver tags a lifecycle event with the driver's session (the key
+// emitSlot tags a lifecycle event with the slot's session (the key
 // preserves per-driver ordering through the bus) and current area.
-func (w *World) emitDriver(kind bus.Kind, d *Driver, num float64, str string) {
+func (w *World) emitSlot(kind bus.Kind, s int32, num float64, str string) {
 	if w.events == nil {
 		return
 	}
-	w.emit(kind, d.Session, w.areaIndex.Find(d.Pos), num, str)
+	f := &w.fleet
+	w.emit(kind, f.session[s], w.areaIndex.Find(f.pos[s]), num, str)
 }

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// fleet is the struct-of-arrays driver store. Each online session lives
+// in a slot: hot per-driver fields are parallel columns indexed by slot,
+// so the movement phase streams cache-line-friendly data instead of
+// chasing one heap pointer per driver; the rarely-read fields (session
+// string, POOL stop queue) sit in a cold side table so they never occupy
+// hot-loop cache lines.
+//
+// Slots are recycled through a LIFO free list, and every slot carries a
+// generation counter that bumps on free: a Handle (slot, gen) taken
+// during one phase can be validated later instead of silently reading a
+// recycled slot. All allocation and freeing happens in the serial commit
+// sections of Step, so slot assignment — and with it every slot-keyed
+// data structure — is deterministic and worker-count independent.
+type fleet struct {
+	n    int     // live sessions
+	high int     // all live slots are < high (column length)
+	free []int32 // LIFO recycled slots
+
+	live []bool
+	gen  []uint32
+
+	// hot columns
+	id           []int64
+	typ          []uint8 // core.VehicleType
+	state        []uint8 // DriverState
+	pos          []geo.Point
+	pickup       []geo.Point
+	dest         []geo.Point
+	destDrop     []bool
+	poolRiders   []uint8
+	offlineAt    []int64
+	idleSince    []int64
+	priceFactor  []float64
+	earned       []float64
+	cruiseTarget []geo.Point
+	cruiseUntil  []int64
+
+	// position-history ring, pathLen entries per slot, flat
+	path    []geo.Point
+	pathN   []uint8
+	pathPos []uint8
+
+	// cold side table
+	session []string
+	stops   [][]PoolStop
+}
+
+// Handle names a fleet slot at a point in time; valid(h) fails once the
+// slot is freed (and possibly recycled).
+type Handle struct {
+	slot int32
+	gen  uint32
+}
+
+// handle returns the current Handle for a live slot.
+func (f *fleet) handle(s int32) Handle { return Handle{slot: s, gen: f.gen[s]} }
+
+// valid reports whether h still names the same session.
+func (f *fleet) valid(h Handle) bool {
+	return h.slot >= 0 && int(h.slot) < f.high && f.live[h.slot] && f.gen[h.slot] == h.gen
+}
+
+// alloc returns a free slot, extending the columns when the free list is
+// empty. The returned slot's columns hold stale values; the caller
+// overwrites every field.
+func (f *fleet) alloc() int32 {
+	f.n++
+	if k := len(f.free); k > 0 {
+		s := f.free[k-1]
+		f.free = f.free[:k-1]
+		f.live[s] = true
+		return s
+	}
+	s := int32(f.high)
+	f.high++
+	f.live = append(f.live, true)
+	f.gen = append(f.gen, 0)
+	f.id = append(f.id, 0)
+	f.typ = append(f.typ, 0)
+	f.state = append(f.state, 0)
+	f.pos = append(f.pos, geo.Point{})
+	f.pickup = append(f.pickup, geo.Point{})
+	f.dest = append(f.dest, geo.Point{})
+	f.destDrop = append(f.destDrop, false)
+	f.poolRiders = append(f.poolRiders, 0)
+	f.offlineAt = append(f.offlineAt, 0)
+	f.idleSince = append(f.idleSince, 0)
+	f.priceFactor = append(f.priceFactor, 0)
+	f.earned = append(f.earned, 0)
+	f.cruiseTarget = append(f.cruiseTarget, geo.Point{})
+	f.cruiseUntil = append(f.cruiseUntil, 0)
+	for i := 0; i < pathLen; i++ {
+		f.path = append(f.path, geo.Point{})
+	}
+	f.pathN = append(f.pathN, 0)
+	f.pathPos = append(f.pathPos, 0)
+	f.session = append(f.session, "")
+	f.stops = append(f.stops, nil)
+	return s
+}
+
+// freeSlot releases a slot back to the free list, bumping its generation
+// and dropping cold references so the GC can reclaim them.
+func (f *fleet) freeSlot(s int32) {
+	f.live[s] = false
+	f.gen[s]++
+	f.session[s] = ""
+	f.stops[s] = nil
+	f.n--
+	f.free = append(f.free, s)
+}
+
+// resetPath seeds the path ring with the slot's current position.
+func (f *fleet) resetPath(s int32) {
+	base := int(s) * pathLen
+	f.path[base] = f.pos[s]
+	f.pathN[s] = 1
+	f.pathPos[s] = 1 % pathLen
+}
+
+// record appends the slot's current position to its path ring and
+// reports whether the ring's observable content changed. When the ring
+// is already saturated with the current position (a parked car), the
+// write is skipped entirely — the delta-snapshot builder relies on this
+// to leave parked cars' frozen wire views untouched.
+func (f *fleet) record(s int32) bool {
+	base := int(s) * pathLen
+	p := f.pos[s]
+	if f.pathN[s] == pathLen {
+		same := true
+		for j := 0; j < pathLen; j++ {
+			if f.path[base+j] != p {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	f.path[base+int(f.pathPos[s])] = p
+	f.pathPos[s] = (f.pathPos[s] + 1) % pathLen
+	if f.pathN[s] < pathLen {
+		f.pathN[s]++
+	}
+	return true
+}
+
+// pathPoints appends the slot's recent positions oldest-first to buf.
+func (f *fleet) pathPoints(s int32, buf []geo.Point) []geo.Point {
+	base := int(s) * pathLen
+	n := int(f.pathN[s])
+	start := int(f.pathPos[s]) - n
+	for i := 0; i < n; i++ {
+		buf = append(buf, f.path[base+(start+i+2*pathLen)%pathLen])
+	}
+	return buf
+}
+
+// stepToward moves the slot toward target by at most dist meters and
+// reports whether the target was reached.
+func (f *fleet) stepToward(s int32, target geo.Point, dist float64) bool {
+	v := target.Sub(f.pos[s])
+	n := v.Norm()
+	if n <= dist {
+		f.pos[s] = target
+		return true
+	}
+	f.pos[s] = f.pos[s].Add(v.Scale(dist / n))
+	return false
+}
+
+// view materializes the slot into the exported Driver struct. The copy is
+// what EachDriver hands to callbacks; it shares only the immutable
+// session string and the stop queue's backing array.
+func (f *fleet) view(s int32, d *Driver) {
+	d.ID = f.id[s]
+	d.Session = f.session[s]
+	d.Type = core.VehicleType(f.typ[s])
+	d.Pos = f.pos[s]
+	d.State = DriverState(f.state[s])
+	d.Pickup = f.pickup[s]
+	d.Dest = f.dest[s]
+	d.destDrop = f.destDrop[s]
+	d.stops = f.stops[s]
+	d.PoolRiders = int(f.poolRiders[s])
+	d.OfflineAt = f.offlineAt[s]
+	d.PriceFactor = f.priceFactor[s]
+	d.idleSince = f.idleSince[s]
+	d.EarnedUSD = f.earned[s]
+	d.cruiseTarget = f.cruiseTarget[s]
+	d.cruiseUntil = f.cruiseUntil[s]
+	base := int(s) * pathLen
+	copy(d.path[:], f.path[base:base+pathLen])
+	d.pathN = int(f.pathN[s])
+	d.pathPos = int(f.pathPos[s])
+}

@@ -7,26 +7,40 @@ import (
 	"repro/internal/geo"
 )
 
-// checkInvariants verifies the world's internal bookkeeping: the driver
-// index maps every driver to its slice slot, the per-product grids hold
-// exactly the idle drivers, and every grid position matches the driver.
+// checkInvariants verifies the world's internal bookkeeping: the fleet's
+// slot accounting balances, the per-product grids hold exactly the idle
+// drivers with fresh positions, and the joinable-POOL index holds exactly
+// the joinable trips.
 func checkInvariants(t *testing.T, w *World) {
 	t.Helper()
-	idleByType := make(map[core.VehicleType]map[int64]geo.Point)
+	f := &w.fleet
+	idleByType := make(map[core.VehicleType]map[int32]geo.Point)
 	seen := 0
-	w.EachDriver(func(d *Driver) {
-		seen++
-		if d.State == StateIdle {
-			m := idleByType[d.Type]
-			if m == nil {
-				m = make(map[int64]geo.Point)
-				idleByType[d.Type] = m
-			}
-			m[d.ID] = d.Pos
+	for s := int32(0); int(s) < f.high; s++ {
+		if !f.live[s] {
+			continue
 		}
-	})
+		seen++
+		if DriverState(f.state[s]) == StateIdle {
+			vt := core.VehicleType(f.typ[s])
+			m := idleByType[vt]
+			if m == nil {
+				m = make(map[int32]geo.Point)
+				idleByType[vt] = m
+			}
+			m[s] = f.pos[s]
+		}
+	}
 	if seen != w.OnlineDrivers() {
-		t.Fatalf("EachDriver visited %d, OnlineDrivers says %d", seen, w.OnlineDrivers())
+		t.Fatalf("saw %d live slots, OnlineDrivers says %d", seen, w.OnlineDrivers())
+	}
+	if f.n+len(f.free) != f.high {
+		t.Fatalf("slot accounting broken: n=%d free=%d high=%d", f.n, len(f.free), f.high)
+	}
+	for _, s := range f.free {
+		if f.live[s] {
+			t.Fatalf("free slot %d is marked live", s)
+		}
 	}
 	for _, vt := range core.AllVehicleTypes() {
 		grid := w.grids[int(vt)]
@@ -34,20 +48,30 @@ func checkInvariants(t *testing.T, w *World) {
 		if grid.Len() != len(want) {
 			t.Fatalf("%v grid holds %d, want %d idle drivers", vt, grid.Len(), len(want))
 		}
-		grid.Each(func(id int64, p geo.Point) {
-			wp, ok := want[id]
+		grid.Each(func(slot int32, p geo.Point) {
+			wp, ok := want[slot]
 			if !ok {
-				t.Fatalf("%v grid holds non-idle or unknown driver %d", vt, id)
+				t.Fatalf("%v grid holds non-idle or unknown slot %d", vt, slot)
 			}
 			if wp != p {
-				t.Fatalf("%v grid position for %d is stale: %v vs %v", vt, id, p, wp)
+				t.Fatalf("%v grid position for %d is stale: %v vs %v", vt, slot, p, wp)
 			}
 		})
 	}
-	for id, idx := range w.driverIdx {
-		if idx < 0 || idx >= len(w.drivers) || w.drivers[idx].ID != id {
-			t.Fatalf("driverIdx[%d] = %d is stale", id, idx)
+	joinable := 0
+	for s := int32(0); int(s) < f.high; s++ {
+		if w.joinableSlot(s) {
+			joinable++
+			if !w.poolGrid.Contains(s) {
+				t.Fatalf("joinable POOL slot %d missing from pool index", s)
+			}
+			if p, _ := w.poolGrid.Position(s); p != f.pos[s] {
+				t.Fatalf("pool index position for %d is stale: %v vs %v", s, p, f.pos[s])
+			}
 		}
+	}
+	if w.poolGrid.Len() != joinable {
+		t.Fatalf("pool index holds %d, want %d joinable trips", w.poolGrid.Len(), joinable)
 	}
 }
 

@@ -79,6 +79,59 @@ func (w *World) shardRand(s int) *rand.Rand {
 	return rand.New(&shardStream{state: h})
 }
 
+// shardRandKey is shardRand's stream key, shared with the pooled variant
+// so both draw the identical sequence.
+func (w *World) shardRandKey(s int) uint64 {
+	h := mix64(uint64(w.cfg.Seed) ^ 0x6a09e667f3bcc908)
+	h = mix64(h ^ uint64(w.tick))
+	return mix64(h ^ uint64(s))
+}
+
+// pooledRand is a reusable (stream, Rand) pair: resetting the stream
+// state replays exactly the sequence a fresh rand.New(&shardStream{...})
+// would produce, without the two allocations per shard per tick that
+// shardRand pays. The movement phase's zero-allocation budget depends on
+// this pool.
+type pooledRand struct {
+	stream shardStream
+	rng    *rand.Rand
+}
+
+// pooledShardRand returns shard s's RNG for the current tick from the
+// world's pool, growing the pool on demand (growth happens only while
+// the fleet's shard count is still rising, then never again).
+func (w *World) pooledShardRand(s int) *rand.Rand {
+	for len(w.shardRngs) <= s {
+		p := &pooledRand{}
+		p.rng = rand.New(&p.stream)
+		w.shardRngs = append(w.shardRngs, p)
+	}
+	p := w.shardRngs[s]
+	p.stream.state = w.shardRandKey(s)
+	return p.rng
+}
+
+// Stream salts for the per-item RNG streams of the parallelized spawn
+// and dispatch phases. Each spawned driver and each passenger request
+// owns a private (seed, tick, salt, index) stream, so the parallel
+// precompute draws the same numbers no matter how items are sharded
+// across workers. The keying constant differs from shardRand's, keeping
+// these streams structurally independent of the movement shards'.
+const (
+	saltSpawn = 1
+	saltReq   = 2
+)
+
+// phaseRand returns the RNG stream owned by item i of the salted phase
+// for the current tick.
+func (w *World) phaseRand(salt uint64, i int) *rand.Rand {
+	h := mix64(uint64(w.cfg.Seed) ^ 0x9b05688c2b3e6c1f)
+	h = mix64(h ^ uint64(w.tick))
+	h = mix64(h ^ salt)
+	h = mix64(h ^ uint64(i))
+	return rand.New(&shardStream{state: h})
+}
+
 // runShards invokes fn(shard) for every shard in [0, n), spread over the
 // world's workers. With one worker (or one shard) it runs inline on the
 // calling goroutine. fn must not touch shared mutable state; anything a

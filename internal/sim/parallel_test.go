@@ -55,8 +55,15 @@ func worldHash(w *World) uint64 {
 	f.i64(w.now)
 	f.i64(w.tick)
 	f.i64(w.nextID)
-	f.int(len(w.drivers))
-	for _, d := range w.drivers {
+	f.int(w.fleet.n)
+	f.int(w.fleet.high)
+	f.int(len(w.fleet.free))
+	var d Driver
+	for s := int32(0); int(s) < w.fleet.high; s++ {
+		if !w.fleet.live[s] {
+			continue
+		}
+		w.fleet.view(s, &d)
 		f.i64(d.ID)
 		f.str(d.Session)
 		f.int(int(d.Type))

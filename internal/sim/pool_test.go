@@ -60,29 +60,33 @@ func TestPoolAccountingBalances(t *testing.T) {
 func TestPoolJoinDivertsRoute(t *testing.T) {
 	w := NewWorld(Config{Profile: poolProfile(), Seed: 5})
 	w.Run(600)
-	// Find an on-trip single-rider POOL driver and join it directly.
-	var target *Driver
-	w.EachDriver(func(d *Driver) {
-		if target == nil && d.State == StateOnTrip && d.PoolRiders == 1 && len(d.stops) == 0 {
-			target = d
+	// Find the lowest-slot joinable POOL trip; the matcher picks the
+	// lowest slot within the radius, so a pickup right next to this
+	// driver must join exactly this trip.
+	f := &w.fleet
+	target := int32(-1)
+	for s := int32(0); int(s) < f.high; s++ {
+		if w.joinableSlot(s) {
+			target = s
+			break
 		}
-	})
-	if target == nil {
+	}
+	if target < 0 {
 		t.Skip("no single-rider POOL trip at probe time")
 	}
-	oldDest := target.Dest
-	pickup := target.Pos.Add(geo.Point{X: 50, Y: 50})
+	oldDest := f.dest[target]
+	pickup := f.pos[target].Add(geo.Point{X: 50, Y: 50})
 	if !w.joinPool(pickup, -1) {
 		t.Fatal("join refused despite an eligible trip nearby")
 	}
-	if target.PoolRiders != 2 {
-		t.Errorf("riders = %d, want 2", target.PoolRiders)
+	if f.poolRiders[target] != 2 {
+		t.Errorf("riders = %d, want 2", f.poolRiders[target])
 	}
-	if target.Dest != pickup || target.destDrop {
+	if f.dest[target] != pickup || f.destDrop[target] {
 		t.Error("driver should divert to the new pickup first")
 	}
-	if len(target.stops) != 2 || !target.stops[0].Drop || target.stops[0].Pos != oldDest {
-		t.Errorf("stop queue wrong: %+v", target.stops)
+	if st := f.stops[target]; len(st) != 2 || !st[0].Drop || st[0].Pos != oldDest {
+		t.Errorf("stop queue wrong: %+v", st)
 	}
 }
 

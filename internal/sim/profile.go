@@ -12,6 +12,8 @@
 package sim
 
 import (
+	"math"
+
 	"repro/internal/core"
 	"repro/internal/geo"
 )
@@ -335,6 +337,22 @@ func NormalizedShares(shares map[core.VehicleType]float64) []float64 {
 // paper's Figures 18 and 19 where each city's probed region resolves into
 // four independent areas. The split lines are deliberately offset from the
 // center so the areas have unequal sizes, like Uber's hand-drawn ones.
+// Scale returns a copy of the profile with the fleet and demand targets
+// multiplied by f: PeakDrivers and PeakRequestsPerHour grow together, so
+// market tightness (and with it surge behaviour) is preserved while the
+// world holds f× the population. Everything else — geometry, shares,
+// diurnal curves, session lengths — is shared with the receiver. f ≤ 0
+// or 1 returns the profile unchanged.
+func (p *CityProfile) Scale(f float64) *CityProfile {
+	if f <= 0 || f == 1 {
+		return p
+	}
+	q := *p
+	q.PeakDrivers = int(math.Round(float64(p.PeakDrivers) * f))
+	q.PeakRequestsPerHour = p.PeakRequestsPerHour * f
+	return &q
+}
+
 func (p *CityProfile) SurgeAreas() []geo.Polygon {
 	m := p.MeasureRect
 	fx, fy := p.SplitX, p.SplitY

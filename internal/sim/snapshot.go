@@ -1,9 +1,6 @@
 package sim
 
 import (
-	"math"
-	"sort"
-
 	"repro/internal/core"
 	"repro/internal/geo"
 )
@@ -19,12 +16,16 @@ import (
 //   - per-product idle-car views with the wire-format fields (session ID,
 //     lat/lng position, projected path) precomputed once per tick instead
 //     of once per ping;
-//   - a compact CSR k-nearest index over those cars, answering the same
-//     queries as the live geo.Grid with identical ordering;
+//   - a per-product uniform-grid k-nearest index over those cars,
+//     answering the same queries as the live geo.SlotGrid with identical
+//     ordering;
 //   - the rasterized area index and area polygons;
 //   - the simulation clock and the service region.
 //
-// All methods are safe for unlimited concurrent use.
+// Snapshots are built incrementally (see snapBuilder below): consecutive
+// snapshots share every grid cell no car moved through, and every frozen
+// car view whose wire content didn't change. All methods are safe for
+// unlimited concurrent use.
 type Snapshot struct {
 	// Now is the simulation time the snapshot was taken at.
 	Now int64
@@ -36,93 +37,30 @@ type Snapshot struct {
 	Proj *geo.Projection
 
 	areaIdx  *geo.AreaIndex
-	products [core.NumVehicleTypes]productIndex
+	products [core.NumVehicleTypes]productCells
 }
 
 // snapCar is one idle car frozen into a snapshot: the precomputed wire
-// view plus the plane position and stable driver ID the k-nearest search
-// orders by (ties break by ID, matching geo.Grid.KNearest).
+// view plus the plane position and slot the k-nearest search orders by
+// (ties break by ascending slot, matching geo.SlotGrid.KNearest).
 type snapCar struct {
-	id   int64
+	slot int32
 	pos  geo.Point
 	view core.CarView
 }
 
-// productIndex is a read-only uniform grid over one product's idle cars in
-// CSR layout: order holds car indices grouped by cell, cellStart[c] ..
-// cellStart[c+1] delimiting cell c's group. Same geometry as the live
-// geo.Grid (same bounds and cell size) so ring-search behaviour matches.
-type productIndex struct {
-	cars      []snapCar
-	bounds    geo.Rect
-	cellSize  float64
-	nx, ny    int
-	cellStart []int32
-	order     []int32
-}
-
-// Snapshot freezes the world's queryable state. It must be called from
-// the same goroutine that steps the world (or under the caller's step
-// lock); the returned snapshot itself is immutable.
-//
-// The build is phase-parallel like Step: shard workers project their own
-// drivers' wire views into per-shard per-product lists, the lists are
-// concatenated in shard order (preserving driver order, which the CSR
-// index construction depends on for its deterministic layout), and the
-// per-product indexes are built concurrently — each product's index is
-// an independent write target.
-func (w *World) Snapshot() *Snapshot {
-	s := &Snapshot{
-		Now:     w.now,
-		Areas:   w.areas,
-		Region:  w.profile.Region,
-		Proj:    w.proj,
-		areaIdx: w.areaIndex,
-	}
-	n := len(w.drivers)
-	shards := numShards(n)
-	parts := make([][core.NumVehicleTypes][]snapCar, shards)
-	w.runShards(shards, func(sh int) {
-		lo, hi := shardBounds(sh, n)
-		for _, d := range w.drivers[lo:hi] {
-			if d.State != StateIdle {
-				continue
-			}
-			pts := d.PathPoints()
-			path := make([]geo.LatLng, len(pts))
-			for i, p := range pts {
-				path[i] = w.proj.ToLatLng(p)
-			}
-			parts[sh][int(d.Type)] = append(parts[sh][int(d.Type)], snapCar{
-				id:  d.ID,
-				pos: d.Pos,
-				view: core.CarView{
-					ID:   d.Session,
-					Pos:  w.proj.ToLatLng(d.Pos),
-					Path: path,
-				},
-			})
-		}
-	})
-	var lists [core.NumVehicleTypes][]snapCar
-	for vt := range lists {
-		total := 0
-		for sh := range parts {
-			total += len(parts[sh][vt])
-		}
-		if total == 0 {
-			continue
-		}
-		list := make([]snapCar, 0, total)
-		for sh := range parts {
-			list = append(list, parts[sh][vt]...)
-		}
-		lists[vt] = list
-	}
-	w.runShards(len(s.products), func(vt int) {
-		s.products[vt] = buildProductIndex(lists[vt], w.profile.Region, gridCellMeters)
-	})
-	return s
+// productCells is a read-only uniform grid over one product's idle cars:
+// cells[c] lists the cars in cell c. The geometry matches the live
+// geo.SlotGrid (same bounds, cell size, and clamping) so ring-search
+// behaviour matches. Cell slices are immutable once published — the
+// incremental builder copies a cell before changing it — so consecutive
+// snapshots share the cells churn didn't touch.
+type productCells struct {
+	bounds   geo.Rect
+	cellSize float64
+	nx, ny   int
+	count    int
+	cells    [][]snapCar
 }
 
 // AreaOf returns the surge area containing the plane point, or -1;
@@ -131,7 +69,7 @@ func (s *Snapshot) AreaOf(p geo.Point) int { return s.areaIdx.Find(p) }
 
 // IdleCars returns the number of visible (idle) cars of the product.
 func (s *Snapshot) IdleCars(vt core.VehicleType) int {
-	return len(s.products[int(vt)].cars)
+	return s.products[int(vt)].count
 }
 
 // EWT returns the estimated wait time in seconds for a product at a
@@ -139,137 +77,87 @@ func (s *Snapshot) IdleCars(vt core.VehicleType) int {
 // the street-grid travel time of the nearest idle car, capped at the
 // paper's observed 43-minute maximum.
 func (s *Snapshot) EWT(vt core.VehicleType, pos geo.Point) float64 {
-	near := s.products[int(vt)].kNearest(pos, 1)
+	var buf [1]snapNeighbor
+	near := s.products[int(vt)].kNearest(pos, 1, buf[:0])
 	if len(near) == 0 {
 		return maxEWTSeconds
 	}
-	t := dispatchOverhead + near[0].dist*manhattanFactor/StreetSpeed(s.Now)
-	if t > maxEWTSeconds {
-		t = maxEWTSeconds
-	}
-	return t
+	return ewtFromDist(near[0].dist, s.Now)
 }
 
 // NearestCars returns up to k idle cars of the product nearest to pos as
 // wire-format views, ordered by ascending distance with ties broken by
-// driver ID — the same cars in the same order World.NearestCars returns.
-// The returned slice is fresh; the Path slices are shared with the
-// snapshot and must be treated as read-only.
+// slot — the same cars in the same order World.NearestCars returns. The
+// returned slice is fresh; the Path slices are shared with the snapshot
+// and must be treated as read-only.
 func (s *Snapshot) NearestCars(vt core.VehicleType, pos geo.Point, k int) []core.CarView {
-	pi := &s.products[int(vt)]
-	near := pi.kNearest(pos, k)
+	near := s.products[int(vt)].kNearest(pos, k, nil)
 	out := make([]core.CarView, 0, len(near))
 	for _, n := range near {
-		out = append(out, pi.cars[n.idx].view)
+		out = append(out, n.car.view)
 	}
 	return out
 }
 
-// gridCellMeters is the uniform cell edge shared by the live geo.Grid
+// gridCellMeters is the uniform cell edge shared by the live geo.SlotGrid
 // and the snapshot index.
 const gridCellMeters = 250.0
 
-func buildProductIndex(cars []snapCar, bounds geo.Rect, cellSize float64) productIndex {
-	nx := int(math.Ceil(bounds.Width()/cellSize)) + 1
-	ny := int(math.Ceil(bounds.Height()/cellSize)) + 1
-	if nx < 1 {
-		nx = 1
-	}
-	if ny < 1 {
-		ny = 1
-	}
-	pi := productIndex{
-		cars:      cars,
-		bounds:    bounds,
-		cellSize:  cellSize,
-		nx:        nx,
-		ny:        ny,
-		cellStart: make([]int32, nx*ny+1),
-		order:     make([]int32, len(cars)),
-	}
-	cellOf := make([]int32, len(cars))
-	for i := range cars {
-		ci := int32(pi.cellIndex(cars[i].pos))
-		cellOf[i] = ci
-		pi.cellStart[ci+1]++
-	}
-	for c := 1; c < len(pi.cellStart); c++ {
-		pi.cellStart[c] += pi.cellStart[c-1]
-	}
-	cursor := make([]int32, nx*ny)
-	copy(cursor, pi.cellStart[:nx*ny])
-	for i := range cars {
-		ci := cellOf[i]
-		pi.order[cursor[ci]] = int32(i)
-		cursor[ci]++
-	}
-	return pi
-}
-
-func (pi *productIndex) cellIndex(p geo.Point) int {
-	cx := int((p.X - pi.bounds.Min.X) / pi.cellSize)
-	cy := int((p.Y - pi.bounds.Min.Y) / pi.cellSize)
-	if cx < 0 {
-		cx = 0
-	}
-	if cx >= pi.nx {
-		cx = pi.nx - 1
-	}
-	if cy < 0 {
-		cy = 0
-	}
-	if cy >= pi.ny {
-		cy = pi.ny - 1
-	}
-	return cy*pi.nx + cx
-}
-
-// snapNeighbor is one k-nearest result: the car's index in pi.cars and
-// its distance from the query point.
+// snapNeighbor is one k-nearest result.
 type snapNeighbor struct {
-	idx  int32
-	id   int64
+	car  *snapCar
 	dist float64
 }
 
-// kNearest mirrors geo.Grid.KNearest on the frozen CSR layout: expanding
-// ring search, stopping once the nearest unexplored cell cannot hold a
-// closer car, results sorted by (distance, driver ID).
-func (pi *productIndex) kNearest(from geo.Point, k int) []snapNeighbor {
-	if k <= 0 || len(pi.cars) == 0 {
-		return nil
-	}
-	cx := int((from.X - pi.bounds.Min.X) / pi.cellSize)
-	cy := int((from.Y - pi.bounds.Min.Y) / pi.cellSize)
+func (pc *productCells) cellIndex(p geo.Point) int {
+	cx := int((p.X - pc.bounds.Min.X) / pc.cellSize)
+	cy := int((p.Y - pc.bounds.Min.Y) / pc.cellSize)
 	if cx < 0 {
 		cx = 0
 	}
-	if cx >= pi.nx {
-		cx = pi.nx - 1
+	if cx >= pc.nx {
+		cx = pc.nx - 1
 	}
 	if cy < 0 {
 		cy = 0
 	}
-	if cy >= pi.ny {
-		cy = pi.ny - 1
+	if cy >= pc.ny {
+		cy = pc.ny - 1
 	}
+	return cy*pc.nx + cx
+}
 
-	var found []snapNeighbor
-	less := func(i, j int) bool {
-		if found[i].dist != found[j].dist {
-			return found[i].dist < found[j].dist
-		}
-		return found[i].id < found[j].id
+// kNearest mirrors geo.SlotGrid.KNearestInto on the frozen cells:
+// expanding ring search with a bounded sorted top-k, stopping once the
+// nearest unexplored ring cannot hold a closer car, results ordered by
+// (distance, slot). Identical geometry, iteration, and comparator mean
+// identical results to the live index over the same car set.
+func (pc *productCells) kNearest(from geo.Point, k int, buf []snapNeighbor) []snapNeighbor {
+	buf = buf[:0]
+	if k <= 0 || pc.count == 0 {
+		return buf
 	}
-	maxRing := pi.nx
-	if pi.ny > maxRing {
-		maxRing = pi.ny
+	cx := int((from.X - pc.bounds.Min.X) / pc.cellSize)
+	cy := int((from.Y - pc.bounds.Min.Y) / pc.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= pc.nx {
+		cx = pc.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= pc.ny {
+		cy = pc.ny - 1
+	}
+	maxRing := pc.nx
+	if pc.ny > maxRing {
+		maxRing = pc.ny
 	}
 	for ring := 0; ring <= maxRing; ring++ {
-		if len(found) >= k {
-			minPossible := float64(ring-1) * pi.cellSize
-			sort.Slice(found, less)
-			if found[k-1].dist <= minPossible {
+		if len(buf) >= k {
+			if buf[k-1].dist <= float64(ring-1)*pc.cellSize {
 				break
 			}
 		}
@@ -280,30 +168,49 @@ func (pi *productIndex) kNearest(from geo.Point, k int) []snapNeighbor {
 					continue // interior already scanned in earlier rings
 				}
 				x, y := cx+dx, cy+dy
-				if x < 0 || x >= pi.nx || y < 0 || y >= pi.ny {
+				if x < 0 || x >= pc.nx || y < 0 || y >= pc.ny {
 					continue
 				}
 				added = true
-				c := y*pi.nx + x
-				for _, ci := range pi.order[pi.cellStart[c]:pi.cellStart[c+1]] {
-					car := &pi.cars[ci]
-					found = append(found, snapNeighbor{
-						idx:  ci,
-						id:   car.id,
-						dist: geo.Dist(from, car.pos),
+				cell := pc.cells[y*pc.nx+x]
+				for i := range cell {
+					car := &cell[i]
+					buf = insertSnapNeighbor(buf, k, snapNeighbor{
+						car: car, dist: geo.Dist(from, car.pos),
 					})
 				}
 			}
 		}
-		if !added && ring > 0 && len(found) >= k {
+		if !added && ring > 0 && len(buf) >= k {
 			break
 		}
 	}
-	sort.Slice(found, less)
-	if len(found) > k {
-		found = found[:k]
+	return buf
+}
+
+// insertSnapNeighbor inserts nb into buf, kept sorted by (dist, slot) and
+// capped at k entries — the same bounded insertion geo.insertNeighbor
+// performs.
+func insertSnapNeighbor(buf []snapNeighbor, k int, nb snapNeighbor) []snapNeighbor {
+	if len(buf) == k {
+		last := buf[k-1]
+		if nb.dist > last.dist || (nb.dist == last.dist && nb.car.slot >= last.car.slot) {
+			return buf
+		}
+		buf = buf[:k-1]
 	}
-	return found
+	i := len(buf)
+	buf = append(buf, nb)
+	for i > 0 {
+		p := buf[i-1]
+		if p.dist < nb.dist || (p.dist == nb.dist && p.car.slot < nb.car.slot) {
+			break
+		}
+		buf[i] = p
+		i--
+	}
+	buf[i] = nb
+	return buf
 }
 
 func absInt(x int) int {
@@ -311,4 +218,229 @@ func absInt(x int) int {
 		return -x
 	}
 	return x
+}
+
+// touchedCell names one (product, cell) pair a build must re-materialize.
+type touchedCell struct {
+	cell int32
+	vt   uint8
+}
+
+// snapBuilder is the world's incremental snapshot state. The sim phases
+// mark slots whose snapshot-observable state changed (position, path
+// ring, idle membership) via markChanged; the next Snapshot() call
+// re-encodes only the marked cars and rebuilds only the grid cells they
+// left or entered, reusing every other cell slice — and every other
+// frozen car view — from the previous snapshot by structural sharing.
+//
+// The builder stays dormant (and markChanged free) until the first
+// Snapshot() call, so worlds that never snapshot — batch experiments,
+// benchmarks — pay nothing.
+type snapBuilder struct {
+	inited bool
+	// queued is the dirty-slot list, deduplicated by qflag.
+	queued []int32
+	qflag  []bool
+	// prod/cell record each slot's membership in the last published
+	// snapshot: prod -1 means invisible (busy or offline).
+	prod []int8
+	cell []int32
+	// cells/counts are the last published per-product state; a build
+	// clones a product's top-level slice before changing any entry.
+	cells  [core.NumVehicleTypes][][]snapCar
+	counts [core.NumVehicleTypes]int
+	// Per-build scratch: touchStamp/touchIdx map (product, cell) to this
+	// build's touched-list entry; seq distinguishes builds so the maps
+	// never need clearing.
+	touchStamp [core.NumVehicleTypes][]int32
+	touchIdx   [core.NumVehicleTypes][]int32
+	seq        int32
+	touched    []touchedCell
+	addLists   [][]int32
+	last       *Snapshot
+}
+
+// markChanged queues a slot for re-encoding in the next snapshot build.
+// Serial-phase only (the parallel move shards queue into their shardOps
+// and the commit loop forwards here).
+func (w *World) markChanged(s int32) {
+	b := &w.snap
+	if !b.inited {
+		return
+	}
+	for int32(len(b.qflag)) <= s {
+		b.qflag = append(b.qflag, false)
+		b.prod = append(b.prod, -1)
+		b.cell = append(b.cell, -1)
+	}
+	if !b.qflag[s] {
+		b.qflag[s] = true
+		b.queued = append(b.queued, s)
+	}
+}
+
+// initSnapBuilder allocates the builder's geometry and queues the whole
+// live fleet as the first delta.
+func (w *World) initSnapBuilder() {
+	b := &w.snap
+	nx, ny := w.grids[0].Nx(), w.grids[0].Ny()
+	for vt := range b.cells {
+		b.cells[vt] = make([][]snapCar, nx*ny)
+		b.touchStamp[vt] = make([]int32, nx*ny)
+		b.touchIdx[vt] = make([]int32, nx*ny)
+	}
+	b.inited = true
+	f := &w.fleet
+	for s := int32(0); int(s) < f.high; s++ {
+		if f.live[s] {
+			w.markChanged(s)
+		}
+	}
+}
+
+// touch registers a (product, cell) pair for rebuild and returns its
+// add-list.
+func (b *snapBuilder) touch(vt uint8, cell int32) int {
+	if b.touchStamp[vt][cell] == b.seq {
+		return int(b.touchIdx[vt][cell])
+	}
+	b.touchStamp[vt][cell] = b.seq
+	idx := len(b.touched)
+	b.touchIdx[vt][cell] = int32(idx)
+	b.touched = append(b.touched, touchedCell{cell: cell, vt: vt})
+	if len(b.addLists) <= idx {
+		b.addLists = append(b.addLists, nil)
+	}
+	b.addLists[idx] = b.addLists[idx][:0]
+	return idx
+}
+
+// Snapshot freezes the world's queryable state. It must be called from
+// the same goroutine that steps the world (or under the caller's step
+// lock); the returned snapshot itself is immutable.
+//
+// The build is incremental: cost is proportional to the tick's churn
+// (cars that moved, changed visibility, or extended their path ring),
+// not to the fleet size. With no churn since the last call, the previous
+// snapshot is returned as-is.
+func (w *World) Snapshot() *Snapshot {
+	b := &w.snap
+	if !b.inited {
+		w.initSnapBuilder()
+	}
+	if len(b.queued) == 0 && b.last != nil && b.last.Now == w.now {
+		return b.last
+	}
+	f := &w.fleet
+	nx, ny := w.grids[0].Nx(), w.grids[0].Ny()
+	geom := productCells{
+		bounds: w.profile.Region, cellSize: gridCellMeters, nx: nx, ny: ny,
+	}
+	b.seq++
+	b.touched = b.touched[:0]
+
+	// Classify every dirty slot: where was it in the last snapshot, where
+	// does it belong now. Touch the cells on both ends and tally the path
+	// points the re-encodes will need.
+	var productTouched [core.NumVehicleTypes]bool
+	pathPts := 0
+	for _, s := range b.queued {
+		oldP, oldC := b.prod[s], b.cell[s]
+		newP, newC := int8(-1), int32(-1)
+		if f.live[s] && DriverState(f.state[s]) == StateIdle {
+			newP = int8(f.typ[s])
+			newC = int32(geom.cellIndex(f.pos[s]))
+		}
+		if oldP < 0 && newP < 0 {
+			continue
+		}
+		if oldP >= 0 {
+			b.touch(uint8(oldP), oldC)
+			productTouched[oldP] = true
+			b.counts[oldP]--
+		}
+		if newP >= 0 {
+			idx := b.touch(uint8(newP), newC)
+			b.addLists[idx] = append(b.addLists[idx], s)
+			productTouched[newP] = true
+			b.counts[newP]++
+			pathPts += int(f.pathN[s])
+		}
+		b.prod[s], b.cell[s] = newP, newC
+	}
+
+	// Clone the top-level cell table of every touched product so the
+	// previously published snapshots stay immutable.
+	for vt := range productTouched {
+		if !productTouched[vt] {
+			continue
+		}
+		clone := make([][]snapCar, len(b.cells[vt]))
+		copy(clone, b.cells[vt])
+		b.cells[vt] = clone
+	}
+
+	// Rebuild each touched cell: keep the still-valid frozen entries
+	// (slots not queued), then append fresh encodings of the cell's
+	// incoming cars. Path slices for all re-encodes share one arena.
+	arena := make([]geo.LatLng, 0, pathPts)
+	var pts []geo.Point
+	for ti, tc := range b.touched {
+		old := b.cells[tc.vt][tc.cell]
+		adds := b.addLists[ti]
+		n := len(adds)
+		for i := range old {
+			if !b.qflag[old[i].slot] {
+				n++
+			}
+		}
+		var fresh []snapCar
+		if n > 0 {
+			fresh = make([]snapCar, 0, n)
+			for i := range old {
+				if !b.qflag[old[i].slot] {
+					fresh = append(fresh, old[i])
+				}
+			}
+			for _, s := range adds {
+				pts = f.pathPoints(s, pts[:0])
+				start := len(arena)
+				for _, p := range pts {
+					arena = append(arena, w.proj.ToLatLng(p))
+				}
+				path := arena[start:len(arena):len(arena)]
+				fresh = append(fresh, snapCar{
+					slot: s,
+					pos:  f.pos[s],
+					view: core.CarView{
+						ID:   f.session[s],
+						Pos:  w.proj.ToLatLng(f.pos[s]),
+						Path: path,
+					},
+				})
+			}
+		}
+		b.cells[tc.vt][tc.cell] = fresh
+	}
+
+	for _, s := range b.queued {
+		b.qflag[s] = false
+	}
+	b.queued = b.queued[:0]
+
+	snap := &Snapshot{
+		Now:     w.now,
+		Areas:   w.areas,
+		Region:  w.profile.Region,
+		Proj:    w.proj,
+		areaIdx: w.areaIndex,
+	}
+	for vt := range snap.products {
+		pc := geom
+		pc.count = b.counts[vt]
+		pc.cells = b.cells[vt]
+		snap.products[vt] = pc
+	}
+	b.last = snap
+	return snap
 }

@@ -117,11 +117,16 @@ func TestWorldAreaIndexMatchesAreaOf(t *testing.T) {
 	}
 }
 
+// BenchmarkSnapshotBuild measures the per-tick delta build (a repeated
+// Snapshot without a Step in between returns the cached snapshot, so the
+// loop steps the world to generate real churn).
 func BenchmarkSnapshotBuild(b *testing.B) {
 	w := snapshotWorld(b, 42)
+	w.Snapshot() // initialize the incremental builder
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		w.Step()
 		s := w.Snapshot()
 		if s.Now != w.Now() {
 			b.Fatal("bad snapshot")

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bus"
@@ -25,11 +27,11 @@ type Config struct {
 	// Pricing selects the market mechanism (default PricingSurge).
 	Pricing PricingMode
 	// Workers is how many goroutines the phase-parallel portions of Step
-	// (movement/cruise, window stats, snapshot build) fan out over;
-	// 0 means runtime.GOMAXPROCS(0). Results are bit-for-bit identical
-	// for every worker count: parallel phases draw from per-(seed, tick,
-	// shard) RNG streams and commit through ordered per-shard buffers
-	// (see parallel.go).
+	// (movement/cruise, spawn and dispatch precompute, window stats) fan
+	// out over; 0 means runtime.GOMAXPROCS(0). Results are bit-for-bit
+	// identical for every worker count: parallel phases draw from
+	// per-(seed, tick, shard) RNG streams and commit through ordered
+	// per-shard buffers (see parallel.go).
 	Workers int
 }
 
@@ -84,6 +86,12 @@ func (w WindowStats) AvgEWT() float64 {
 
 // World is the simulated city. It is not safe for concurrent use; the
 // layers above (api.Service) serialize access.
+//
+// Driver state lives in a struct-of-arrays fleet (see fleet.go): hot
+// per-driver fields are flat columns indexed by slot, recycled through a
+// free list with generation counters. Every slot-keyed structure — the
+// per-product idle grids, the joinable-POOL index, the delta-snapshot
+// builder — keys by slot, so there is no id→index map on any hot path.
 type World struct {
 	cfg     Config
 	profile *CityProfile
@@ -93,18 +101,23 @@ type World struct {
 	now  int64
 	tick int64
 
-	drivers   []*Driver // iteration order is deterministic
-	driverIdx map[int64]int
-	nextID    int64
+	fleet  fleet
+	nextID int64
 
 	// idle cars only, one index per product: these are the cars a client
 	// can see.
-	grids [core.NumVehicleTypes]*geo.Grid
+	grids [core.NumVehicleTypes]*geo.SlotGrid
+
+	// poolGrid indexes joinable POOL trips (on-trip, single rider, no
+	// queued stops) so the shared-ride matcher is a radius probe instead
+	// of a full fleet scan.
+	poolGrid *geo.SlotGrid
 
 	areas      []geo.Polygon
 	areaIndex  *geo.AreaIndex
 	areaStats  []WindowStats
 	surgeOf    func(area int) float64 // provided by the surge engine
+	surgeCache []float64              // per-area multiplier, refreshed each tick
 	fleetCDF   []float64              // cumulative fleet shares
 	demandCDF  []float64              // cumulative demand shares
 	hotspotCDF []float64
@@ -148,10 +161,19 @@ type World struct {
 	// never reset — the attack experiment diffs it across a window).
 	AreaFares []float64
 
-	// workers is the resolved Config.Workers; moveOps holds the reusable
-	// per-shard commit buffers of the parallel movement phase.
-	workers int
-	moveOps []shardOps
+	// workers is the resolved Config.Workers; the buffers below are the
+	// reusable per-shard commit buffers and per-phase scratch of the
+	// parallel tick, grown once to steady state and then allocation-free.
+	workers    int
+	moveOps    []shardOps
+	shardRngs  []*pooledRand
+	statParts  [][]areaCount
+	subPlans   []subPlan
+	spawnPlans []spawnPlan
+	knnBuf     []geo.SlotNeighbor
+
+	// snap is the incremental snapshot builder (see snapshot.go).
+	snap snapBuilder
 
 	// events receives lifecycle/trip events (see SetEventSink); nil when
 	// nothing listens. Only serial phases call it.
@@ -182,6 +204,16 @@ const (
 )
 
 var phaseNames = [numPhases]string{"spawn", "move", "dispatch", "stats"}
+
+// phaseLabelSets are prebuilt pprof label sets so CPU profiles attribute
+// samples to sim phases (complementing sim_phase_duration_seconds).
+var phaseLabelSets = func() [numPhases]pprof.LabelSet {
+	var ls [numPhases]pprof.LabelSet
+	for i := range phaseNames {
+		ls[i] = pprof.Labels("sim_phase", phaseNames[i])
+	}
+	return ls
+}()
 
 // Instrument wires the world's metrics into reg:
 //
@@ -256,26 +288,30 @@ func NewWorld(cfg Config) *World {
 	}
 	p := cfg.Profile
 	w := &World{
-		cfg:       cfg,
-		profile:   p,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		proj:      geo.NewProjection(p.Origin),
-		now:       cfg.StartTime,
-		driverIdx: make(map[int64]int),
-		areas:     p.SurgeAreas(),
-		surgeOf:   func(int) float64 { return 1 },
+		cfg:     cfg,
+		profile: p,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		proj:    geo.NewProjection(p.Origin),
+		now:     cfg.StartTime,
+		areas:   p.SurgeAreas(),
+		surgeOf: func(int) float64 { return 1 },
 	}
 	w.workers = cfg.Workers
 	if w.workers <= 0 {
 		w.workers = runtime.GOMAXPROCS(0)
 	}
-	w.areaIndex = geo.NewAreaIndex(w.areas, gridCellMeters)
+	// The area raster is 4× finer than the driver grid: every driver pays
+	// an area lookup per tick in the stats pass, and only raster cells a
+	// polygon edge crosses fall back to exact point-in-polygon tests, so a
+	// thinner mixed band buys measurable tick time for a one-off build.
+	w.areaIndex = geo.NewAreaIndex(w.areas, gridCellMeters/4)
 	w.areaStats = make([]WindowStats, len(w.areas))
 	w.fares = core.DefaultFares()
 	w.AreaFares = make([]float64, len(w.areas))
 	for i := range w.grids {
-		w.grids[i] = geo.NewGrid(p.Region, gridCellMeters)
+		w.grids[i] = geo.NewSlotGrid(p.Region, gridCellMeters)
 	}
+	w.poolGrid = geo.NewSlotGrid(p.Region, gridCellMeters)
 	w.fleetCDF = cdfOf(NormalizedShares(p.FleetShare))
 	w.demandCDF = cdfOf(NormalizedShares(p.DemandShare))
 	w.hotspotCDF = make([]float64, len(p.Hotspots))
@@ -299,13 +335,14 @@ func NewWorld(cfg Config) *World {
 	// Seed the initial population at the steady-state size for the start
 	// hour, with sessions already partially elapsed.
 	target := int(float64(p.PeakDrivers) * p.SupplyDiurnal[HourOfDay(w.now)])
+	f := &w.fleet
 	for i := 0; i < target; i++ {
-		d := w.spawnDriver()
+		s := w.spawnDriver()
 		// Spread remaining session time as if drivers came online earlier.
-		elapsed := int64(w.rng.Float64() * w.sessionLength(d.Type))
-		d.OfflineAt -= elapsed
-		if d.OfflineAt <= w.now {
-			d.OfflineAt = w.now + int64(w.rng.Float64()*w.meanSessionSec*0.5) + 60
+		elapsed := int64(w.rng.Float64() * w.sessionLength(core.VehicleType(f.typ[s])))
+		f.offlineAt[s] -= elapsed
+		if f.offlineAt[s] <= w.now {
+			f.offlineAt[s] = w.now + int64(w.rng.Float64()*w.meanSessionSec*0.5) + 60
 		}
 	}
 	return w
@@ -357,6 +394,20 @@ func (w *World) SetSurgeProvider(f func(area int) float64) {
 	}
 }
 
+// refreshSurgeCache samples the surge provider once per area per tick.
+// The multipliers are interval-quantized by the engine, so within one
+// tick the cached value is exact — and the parallel spawn/dispatch
+// precompute can read it without re-entering the provider concurrently.
+func (w *World) refreshSurgeCache() {
+	if cap(w.surgeCache) < len(w.areas) {
+		w.surgeCache = make([]float64, len(w.areas))
+	}
+	w.surgeCache = w.surgeCache[:len(w.areas)]
+	for i := range w.surgeCache {
+		w.surgeCache[i] = w.surgeOf(i)
+	}
+}
+
 // InjectDemandShock multiplies request arrivals in an area by factor for
 // the given duration — the simulator's stand-in for concerts, storms, and
 // the other exogenous spikes that make surge noisy.
@@ -388,15 +439,20 @@ func StreetSpeed(t int64) float64 {
 	}
 }
 
-// sessionLength draws a session length in seconds for a product; luxury
-// products (BLACK, SUV) run longer sessions, as Fig 7 shows.
+// sessionLength draws a session length in seconds for a product from the
+// world stream; luxury products (BLACK, SUV) run longer sessions, as
+// Fig 7 shows.
 func (w *World) sessionLength(vt core.VehicleType) float64 {
+	return w.sessionLengthRand(w.rng, vt)
+}
+
+func (w *World) sessionLengthRand(rng *rand.Rand, vt core.VehicleType) float64 {
 	mean := w.meanSessionSec
 	if vt == core.UberBLACK || vt == core.UberSUV {
 		mean *= w.profile.LuxurySessionFactor
 	}
 	// Lognormal with sigma 0.7 around the target median.
-	return mean * math.Exp(w.rng.NormFloat64()*0.7)
+	return mean * math.Exp(rng.NormFloat64()*0.7)
 }
 
 // sampleShare picks an index from a cumulative share vector.
@@ -437,56 +493,64 @@ func (w *World) samplePlaceRand(rng *rand.Rand) geo.Point {
 
 // addDriver registers a fresh online session of the product at pos,
 // drawing the full logon state — session ID, pricing posture, session
-// length, cruise plan — from the world stream. Both organic spawns and
-// suspended-driver resumes go through here, so a resumed driver gets the
-// same PriceFactor/idleSince initialization as any new logon (it used to
-// come back with the zero values, quoting factor 0 and instantly
-// tripping the lose-shift rule under PricingDriverSet).
-func (w *World) addDriver(vt core.VehicleType, pos geo.Point) *Driver {
-	d := &Driver{
-		ID:          w.nextID,
-		Session:     newSessionID(w.rng),
-		Type:        vt,
-		Pos:         pos,
-		State:       StateIdle,
-		PriceFactor: clampFactor(1 + 0.2*w.rng.NormFloat64()),
-		idleSince:   w.now,
-	}
+// length, cruise plan — from the world stream, and returns its slot.
+// Both seed spawns and suspended-driver resumes go through here, so a
+// resumed driver gets the same PriceFactor/idleSince initialization as
+// any new logon.
+func (w *World) addDriver(vt core.VehicleType, pos geo.Point) int32 {
+	f := &w.fleet
+	s := f.alloc()
+	f.id[s] = w.nextID
 	w.nextID++
-	d.OfflineAt = w.now + int64(w.sessionLength(vt))
-	d.cruiseTarget = w.samplePlace()
-	d.cruiseUntil = w.now + int64(120+w.rng.Intn(600))
-	d.recordPath()
-	w.drivers = append(w.drivers, d)
-	w.driverIdx[d.ID] = len(w.drivers) - 1
-	w.grids[int(vt)].Insert(d.ID, d.Pos)
-	return d
+	f.session[s] = newSessionID(w.rng)
+	f.typ[s] = uint8(vt)
+	f.pos[s] = pos
+	f.state[s] = uint8(StateIdle)
+	f.pickup[s] = geo.Point{}
+	f.dest[s] = geo.Point{}
+	f.destDrop[s] = false
+	f.stops[s] = nil
+	f.poolRiders[s] = 0
+	f.priceFactor[s] = clampFactor(1 + 0.2*w.rng.NormFloat64())
+	f.idleSince[s] = w.now
+	f.earned[s] = 0
+	f.offlineAt[s] = w.now + int64(w.sessionLength(vt))
+	f.cruiseTarget[s] = w.samplePlace()
+	f.cruiseUntil[s] = w.now + int64(120+w.rng.Intn(600))
+	f.resetPath(s)
+	w.grids[int(vt)].Insert(s, pos)
+	w.markChanged(s)
+	return s
 }
 
-// spawnDriver brings a new driver online and returns it.
-func (w *World) spawnDriver() *Driver {
+// spawnDriver brings a new driver online from the world stream (used by
+// NewWorld's seed population; steady-state arrivals go through the
+// parallel spawnArrivals) and returns its slot.
+func (w *World) spawnDriver() int32 {
 	vt := core.VehicleType(w.sampleShare(w.fleetCDF))
-	d := w.addDriver(vt, w.samplePlace())
+	s := w.addDriver(vt, w.samplePlace())
 	w.TotalSpawned++
-	return d
+	return s
 }
 
-// removeDriver takes the driver at slice index i offline. Callers count
-// the departure themselves: an organic session death is TotalOffline, a
-// coordinated-logoff suspension is TotalSuspended.
-func (w *World) removeDriver(i int) {
-	d := w.drivers[i]
-	if d.State == StateIdle {
-		w.grids[int(d.Type)].Remove(d.ID)
+// removeSlot takes a session offline: out of the spatial indexes, out of
+// the snapshot, slot back on the free list. Callers count the departure
+// themselves: an organic session death is TotalOffline, a coordinated
+// logoff is TotalSuspended.
+func (w *World) removeSlot(s int32) {
+	f := &w.fleet
+	if DriverState(f.state[s]) == StateIdle {
+		w.grids[f.typ[s]].Remove(s)
 	}
-	last := len(w.drivers) - 1
-	w.drivers[i] = w.drivers[last]
-	w.driverIdx[w.drivers[i].ID] = i
-	w.drivers = w.drivers[:last]
-	delete(w.driverIdx, d.ID)
+	if core.VehicleType(f.typ[s]) == core.UberPOOL {
+		w.poolGrid.Remove(s)
+	}
+	w.markChanged(s)
+	f.freeSlot(s)
 }
 
-// Step advances the world by one tick.
+// Step advances the world by one tick. Each phase runs under a pprof
+// label so CPU profiles break down by sim phase.
 func (w *World) Step() {
 	instrumented := w.hStep != nil
 	var stepStart, phaseStart time.Time
@@ -497,29 +561,39 @@ func (w *World) Step() {
 	dt := float64(w.cfg.TickSeconds)
 	w.now += w.cfg.TickSeconds
 	w.tick++
+	w.refreshSurgeCache()
 
-	w.spawnArrivals(dt)
-	w.resumeSuspended()
+	ctx := context.Background()
+	pprof.Do(ctx, phaseLabelSets[phaseSpawn], func(context.Context) {
+		w.spawnArrivals(dt)
+		w.resumeSuspended()
+	})
 	if instrumented {
 		phaseStart = w.observePhase(phaseSpawn, phaseStart)
 	}
-	w.moveDrivers(dt)
+	pprof.Do(ctx, phaseLabelSets[phaseMove], func(context.Context) {
+		w.moveDrivers(dt)
+	})
 	if instrumented {
 		phaseStart = w.observePhase(phaseMove, phaseStart)
 	}
-	w.generateRequests(dt)
+	pprof.Do(ctx, phaseLabelSets[phaseDispatch], func(context.Context) {
+		w.generateRequests(dt)
+	})
 	if instrumented {
 		phaseStart = w.observePhase(phaseDispatch, phaseStart)
 	}
-	w.accumulateStats()
-	w.expireShocks()
+	pprof.Do(ctx, phaseLabelSets[phaseStats], func(context.Context) {
+		w.accumulateStats()
+		w.expireShocks()
+	})
 	if instrumented {
 		w.observePhase(phaseStats, phaseStart)
 	}
 
 	if instrumented {
 		w.hStep.ObserveDuration(time.Since(stepStart))
-		w.gDrivers.Set(float64(len(w.drivers)))
+		w.gDrivers.Set(float64(w.fleet.n))
 		w.gSimTime.Set(float64(w.now))
 		w.mPickups.Add(w.TotalPickups - w.lastPickups)
 		w.mPricedOut.Add(w.TotalPricedOut - w.lastPricedOut)
@@ -545,21 +619,20 @@ func (w *World) observePhase(phase int, since time.Time) time.Time {
 // complied (there may be fewer than n idle in the area).
 func (w *World) ForceOffline(vt core.VehicleType, area int, n int, duration int64) int {
 	taken := 0
-	for i := 0; i < len(w.drivers) && taken < n; i++ {
-		d := w.drivers[i]
-		if d.Type != vt || d.State != StateIdle {
+	f := &w.fleet
+	for s := int32(0); int(s) < f.high && taken < n; s++ {
+		if !f.live[s] || core.VehicleType(f.typ[s]) != vt || DriverState(f.state[s]) != StateIdle {
 			continue
 		}
-		if w.areaIndex.Find(d.Pos) != area {
+		if w.areaIndex.Find(f.pos[s]) != area {
 			continue
 		}
 		w.suspended = append(w.suspended, suspendedDriver{
-			vt: d.Type, pos: d.Pos, returnAt: w.now + duration,
+			vt: vt, pos: f.pos[s], returnAt: w.now + duration,
 		})
-		w.emitDriver(bus.KindDriverSuspend, d, float64(duration), d.Type.String())
-		w.removeDriver(i)
+		w.emitSlot(bus.KindDriverSuspend, s, float64(duration), vt.String())
+		w.removeSlot(s)
 		w.TotalSuspended++
-		i--
 		taken++
 	}
 	return taken
@@ -577,9 +650,9 @@ func (w *World) resumeSuspended() {
 			live = append(live, s)
 			continue
 		}
-		d := w.addDriver(s.vt, s.pos)
+		slot := w.addDriver(s.vt, s.pos)
 		w.TotalResumed++
-		w.emitDriver(bus.KindDriverResume, d, 0, d.Type.String())
+		w.emitSlot(bus.KindDriverResume, slot, 0, s.vt.String())
 	}
 	w.suspended = live
 }
@@ -601,56 +674,27 @@ func (w *World) expireShocks() {
 	w.shocks = live
 }
 
-// spawnArrivals brings new drivers online at a rate that sustains the
-// diurnal steady-state population, boosted slightly by surge (§5.5: a
-// small, consistent increase in new cars in surging areas).
-func (w *World) spawnArrivals(dt float64) {
-	p := w.profile
-	target := float64(p.PeakDrivers) * p.SupplyDiurnal[HourOfDay(w.now)]
-	rate := target / w.effSessionSec // arrivals per second
-	// A profile without surge areas (taxi validation, custom rigs) has no
-	// surge signal: treat it as a uniform 1.0 rather than dividing by
-	// zero, which would turn the arrival rate into NaN and silently stop
-	// all spawning.
-	avgSurge := 1.0
-	if len(w.areas) > 0 {
-		avgSurge = 0.0
-		for i := range w.areas {
-			avgSurge += w.surgeOf(i)
-		}
-		avgSurge /= float64(len(w.areas))
-	}
-	rate *= 1 + p.SupplyBoost*(avgSurge-1)
-	n := poisson(w.rng, rate*dt)
-	for i := 0; i < n; i++ {
-		d := w.spawnDriver()
-		// Driver flocking at spawn: pick the better of two candidate
-		// start locations, weighting by area surge.
-		alt := w.samplePlace()
-		if w.surgeWeight(alt) > w.surgeWeight(d.Pos) {
-			w.grids[int(d.Type)].Move(d.ID, alt)
-			d.Pos = alt
-		}
-		w.emitDriver(bus.KindDriverSpawn, d, 0, d.Type.String())
-	}
-}
-
 func (w *World) surgeWeight(p geo.Point) float64 {
 	a := w.areaIndex.Find(p)
-	if a < 0 {
+	if a < 0 || a >= len(w.surgeCache) {
 		return 1
 	}
-	return w.surgeOf(a)
+	return w.surgeCache[a]
 }
 
 // shardOps buffers one shard's deferred world mutations during the
-// parallel movement phase: grid updates and removals may not touch the
-// shared grids/driver slice from workers, so they queue here and the
-// commit loop applies them in (shard, index) order.
+// parallel movement phase: grid updates, joinable-POOL index updates,
+// removals, and snapshot dirty marks may not touch shared state from
+// workers, so they queue here and the commit loop applies them in
+// (shard, index) order.
 type shardOps struct {
-	removals []int64 // drivers whose session ended this tick
-	moves    [core.NumVehicleTypes][]geo.IDPoint
-	inserts  [core.NumVehicleTypes][]geo.IDPoint // trip completions re-entering the map
+	removals []int32 // drivers whose session ended this tick
+	moves    [core.NumVehicleTypes][]geo.SlotPoint
+	inserts  [core.NumVehicleTypes][]geo.SlotPoint // trip completions re-entering the map
+	poolIns  []geo.SlotPoint                       // trips becoming joinable
+	poolMove []geo.SlotPoint                       // joinable trips that moved
+	poolDel  []int32                               // trips no longer joinable
+	changed  []int32                               // idle cars whose wire view changed
 	dropoffs int64
 }
 
@@ -660,326 +704,193 @@ func (o *shardOps) reset() {
 		o.moves[vt] = o.moves[vt][:0]
 		o.inserts[vt] = o.inserts[vt][:0]
 	}
+	o.poolIns = o.poolIns[:0]
+	o.poolMove = o.poolMove[:0]
+	o.poolDel = o.poolDel[:0]
+	o.changed = o.changed[:0]
 	o.dropoffs = 0
 }
 
 // moveDrivers advances every driver's state machine by dt seconds.
 //
-// The phase is parallel over fixed driver shards: each shard mutates only
-// its own drivers' fields and its private shardOps buffer, drawing
+// The phase is parallel over fixed slot-range shards: each shard mutates
+// only its own slots' columns and its private shardOps buffer, drawing
 // randomness from the shard's (seed, tick, shard) stream. The trailing
 // commit applies grid moves, re-inserts, and removals serially in shard
 // order, so the world after the phase is independent of worker count.
+// With one worker the whole phase runs inline and allocation-free: the
+// RNGs, commit buffers, and grid cells are all reused tick over tick.
 func (w *World) moveDrivers(dt float64) {
 	speed := StreetSpeed(w.now)
-	n := len(w.drivers)
-	shards := numShards(n)
+	high := w.fleet.high
+	shards := numShards(high)
 	for len(w.moveOps) < shards {
 		w.moveOps = append(w.moveOps, shardOps{})
 	}
-	ops := w.moveOps[:shards]
-	w.runShards(shards, func(s int) {
-		o := &ops[s]
-		o.reset()
-		rng := w.shardRand(s)
-		lo, hi := shardBounds(s, n)
-		for _, d := range w.drivers[lo:hi] {
-			w.moveOne(d, dt, speed, rng, o)
+	if w.workers <= 1 || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			w.moveShard(s, dt, speed)
 		}
-	})
-	for s := range ops {
-		o := &ops[s]
+	} else {
+		w.runShards(shards, func(s int) { w.moveShard(s, dt, speed) })
+	}
+	f := &w.fleet
+	for s := 0; s < shards; s++ {
+		o := &w.moveOps[s]
 		w.TotalDropoffs += o.dropoffs
 		for vt := range o.moves {
 			w.grids[vt].MoveBatch(o.moves[vt])
 			w.grids[vt].InsertBatch(o.inserts[vt])
 		}
-		if w.events != nil {
-			// A re-inserted driver just finished a trip; the commit loop
-			// runs serially in shard order, so emission order is stable.
-			for vt := range o.inserts {
-				for _, ip := range o.inserts[vt] {
-					if idx, ok := w.driverIdx[ip.ID]; ok {
-						w.emitDriver(bus.KindTripComplete, w.drivers[idx], 0, core.VehicleType(vt).String())
-					}
-				}
+		w.poolGrid.RemoveBatch(o.poolDel)
+		w.poolGrid.MoveBatch(o.poolMove)
+		w.poolGrid.InsertBatch(o.poolIns)
+		for vt := range o.inserts {
+			for _, ip := range o.inserts[vt] {
+				// A re-inserted driver just finished a trip; the commit loop
+				// runs serially in shard order, so emission order is stable.
+				w.markChanged(ip.Slot)
+				w.emitSlot(bus.KindTripComplete, ip.Slot, 0, core.VehicleType(vt).String())
 			}
 		}
-		for _, id := range o.removals {
-			idx := w.driverIdx[id]
-			d := w.drivers[idx]
-			w.removeDriver(idx)
+		for _, sl := range o.removals {
 			w.TotalOffline++
-			w.emitDriver(bus.KindDriverOffline, d, 0, d.Type.String())
+			w.emitSlot(bus.KindDriverOffline, sl, 0, core.VehicleType(f.typ[sl]).String())
+			w.removeSlot(sl)
 		}
+		for _, sl := range o.changed {
+			w.markChanged(sl)
+		}
+	}
+}
+
+// moveShard runs one shard of the movement phase.
+func (w *World) moveShard(s int, dt, speed float64) {
+	o := &w.moveOps[s]
+	o.reset()
+	rng := w.pooledShardRand(s)
+	lo, hi := shardBounds(s, w.fleet.high)
+	live := w.fleet.live
+	for i := lo; i < hi; i++ {
+		if !live[i] {
+			continue
+		}
+		w.moveOne(int32(i), dt, speed, rng, o)
 	}
 }
 
 // moveOne advances a single driver, queueing shared-state mutations in o.
-// It may only write driver-local fields; everything else is deferred.
-func (w *World) moveOne(d *Driver, dt, speed float64, rng *rand.Rand, o *shardOps) {
-	switch d.State {
+// It may only write the slot's own columns; everything else is deferred.
+func (w *World) moveOne(s int32, dt, speed float64, rng *rand.Rand, o *shardOps) {
+	f := &w.fleet
+	isPool := core.VehicleType(f.typ[s]) == core.UberPOOL
+	wasJoin := isPool && DriverState(f.state[s]) == StateOnTrip &&
+		f.poolRiders[s] == 1 && len(f.stops[s]) == 0 && f.destDrop[s]
+	switch DriverState(f.state[s]) {
 	case StateIdle:
-		if d.OfflineAt <= w.now {
-			o.removals = append(o.removals, d.ID)
+		if f.offlineAt[s] <= w.now {
+			o.removals = append(o.removals, s)
 			return // departed drivers don't extend their path
 		}
-		w.cruise(d, dt, rng, o)
+		moved := w.cruise(s, dt, rng, o)
+		if f.record(s) || moved {
+			o.changed = append(o.changed, s)
+		}
+		return
 	case StateEnRoute:
-		if d.stepToward(d.Pickup, speed*dt/manhattanFactor) {
+		if f.stepToward(s, f.pickup[s], speed*dt/manhattanFactor) {
 			// Passenger boards; trip begins.
-			d.State = StateOnTrip
+			f.state[s] = uint8(StateOnTrip)
 		}
 	case StateOnTrip:
-		if d.stepToward(d.Dest, speed*dt/manhattanFactor) {
-			if d.destDrop {
+		if f.stepToward(s, f.dest[s], speed*dt/manhattanFactor) {
+			if f.destDrop[s] {
 				o.dropoffs++
-				if d.PoolRiders > 0 {
-					d.PoolRiders--
+				if f.poolRiders[s] > 0 {
+					f.poolRiders[s]--
 				}
 			}
-			// A shared POOL trip continues through its stop queue.
-			if len(d.stops) > 0 {
-				next := d.stops[0]
-				d.stops = d.stops[1:]
-				d.Dest = next.Pos
-				d.destDrop = next.Drop
-				break
+			if st := f.stops[s]; len(st) > 0 {
+				// A shared POOL trip continues through its stop queue.
+				next := st[0]
+				f.stops[s] = st[1:]
+				f.dest[s] = next.Pos
+				f.destDrop[s] = next.Drop
+			} else {
+				f.poolRiders[s] = 0
+				if f.offlineAt[s] <= w.now {
+					if wasJoin {
+						o.poolDel = append(o.poolDel, s)
+					}
+					o.removals = append(o.removals, s)
+					return
+				}
+				f.state[s] = uint8(StateIdle)
+				f.idleSince[s] = w.now
+				f.cruiseTarget[s] = w.samplePlaceRand(rng)
+				f.cruiseUntil[s] = w.now + int64(120+rng.Intn(600))
+				o.inserts[f.typ[s]] = append(o.inserts[f.typ[s]], geo.SlotPoint{Slot: s, Pos: f.pos[s]})
 			}
-			d.PoolRiders = 0
-			if d.OfflineAt <= w.now {
-				o.removals = append(o.removals, d.ID)
-				return
-			}
-			d.State = StateIdle
-			d.idleSince = w.now
-			d.cruiseTarget = w.samplePlaceRand(rng)
-			d.cruiseUntil = w.now + int64(120+rng.Intn(600))
-			o.inserts[int(d.Type)] = append(o.inserts[int(d.Type)], geo.IDPoint{ID: d.ID, Pos: d.Pos})
 		}
 	}
-	d.recordPath()
+	f.record(s)
+	if isPool {
+		isJoin := DriverState(f.state[s]) == StateOnTrip &&
+			f.poolRiders[s] == 1 && len(f.stops[s]) == 0 && f.destDrop[s]
+		switch {
+		case wasJoin && isJoin:
+			o.poolMove = append(o.poolMove, geo.SlotPoint{Slot: s, Pos: f.pos[s]})
+		case wasJoin && !isJoin:
+			o.poolDel = append(o.poolDel, s)
+		case !wasJoin && isJoin:
+			o.poolIns = append(o.poolIns, geo.SlotPoint{Slot: s, Pos: f.pos[s]})
+		}
+	}
 }
 
 // cruise moves an idle driver toward its cruise target, re-rolling the
-// target when reached or expired. Idle drivers drift toward hotspots most
-// of the time, producing the spatial skew in Figs 9 and 10.
-func (w *World) cruise(d *Driver, dt float64, rng *rand.Rand, o *shardOps) {
-	if w.cfg.Pricing == PricingDriverSet && w.now-d.idleSince > 1200 {
+// target when reached or expired, and reports whether the position moved.
+// Idle drivers drift toward hotspots most of the time, producing the
+// spatial skew in Figs 9 and 10.
+func (w *World) cruise(s int32, dt float64, rng *rand.Rand, o *shardOps) bool {
+	f := &w.fleet
+	if w.cfg.Pricing == PricingDriverSet && w.now-f.idleSince[s] > 1200 {
 		// No fare for 20 minutes: lower the asking price and keep
 		// waiting (lose-shift).
-		d.PriceFactor = clampFactor(d.PriceFactor - 0.1)
-		d.idleSince = w.now
+		f.priceFactor[s] = clampFactor(f.priceFactor[s] - 0.1)
+		f.idleSince[s] = w.now
 	}
-	if w.now >= d.cruiseUntil || geo.Dist(d.Pos, d.cruiseTarget) < 20 {
-		d.cruiseTarget = w.samplePlaceRand(rng)
-		d.cruiseUntil = w.now + int64(120+rng.Intn(600))
+	if w.now >= f.cruiseUntil[s] || geo.Dist(f.pos[s], f.cruiseTarget[s]) < 20 {
+		f.cruiseTarget[s] = w.samplePlaceRand(rng)
+		f.cruiseUntil[s] = w.now + int64(120+rng.Intn(600))
 	}
 	// Jittered heading toward the target.
-	v := d.cruiseTarget.Sub(d.Pos)
+	v := f.cruiseTarget[s].Sub(f.pos[s])
 	n := v.Norm()
 	if n < 1 {
-		return
+		return false
 	}
 	step := idleSpeed * dt
 	move := v.Scale(step / n)
 	move.X += rng.NormFloat64() * step * 0.3
 	move.Y += rng.NormFloat64() * step * 0.3
-	d.Pos = w.profile.Region.Clamp(d.Pos.Add(move))
-	o.moves[int(d.Type)] = append(o.moves[int(d.Type)], geo.IDPoint{ID: d.ID, Pos: d.Pos})
-}
-
-// generateRequests draws passenger requests from the non-homogeneous
-// Poisson demand process and dispatches the fulfilled ones.
-func (w *World) generateRequests(dt float64) {
-	p := w.profile
-	curve := &p.DemandDiurnal
-	if Weekend(w.now) {
-		curve = &p.WeekendDemandDiurnal
-	}
-	rate := p.PeakRequestsPerHour / 3600 * curve[HourOfDay(w.now)]
-	n := poisson(w.rng, rate*dt)
-	for i := 0; i < n; i++ {
-		w.oneRequest()
-	}
-}
-
-func (w *World) oneRequest() {
-	pickup := w.samplePlace()
-	area := w.areaIndex.Find(pickup)
-	w.oneRequestAt(pickup, area)
-	if area >= 0 {
-		// A shock multiplies arrivals: each unit of factor above 1 adds an
-		// extra request at the same spot with the fractional remainder
-		// drawn probabilistically.
-		extra := w.shockFactor(area) - 1
-		for extra > 0 {
-			if extra >= 1 || w.rng.Float64() < extra {
-				w.oneRequestAt(pickup, area)
-			}
-			extra--
-		}
-	}
-}
-
-func (w *World) oneRequestAt(pickup geo.Point, area int) {
-	vt := core.VehicleType(w.sampleShare(w.demandCDF))
-	if area >= 0 {
-		st := &w.areaStats[area]
-		st.LatentDemand++
-		// The engine's EWT feature is demand-weighted: the wait a rider
-		// at this pickup point would experience. (Sampling at area
-		// centroids instead systematically inflates areas whose demand
-		// clusters off-center.)
-		st.EWTSum += w.EWT(core.UberX, pickup)
-		st.EWTN++
-	}
-
-	// UberPOOL first tries to share an in-progress POOL trip passing
-	// nearby (§2: "Uber will assign multiple passengers to each
-	// vehicle"); pool seats are cheap, so elasticity is skipped.
-	if vt == core.UberPOOL && w.joinPool(pickup, area) {
-		return
-	}
-
-	// Select the driver and the price multiplier the passenger faces.
-	var d *Driver
-	var price float64
-	switch w.cfg.Pricing {
-	case PricingDriverSet:
-		// Sidecar-style market (§8): passengers see the nearby drivers'
-		// self-set prices and take the cheapest.
-		near := w.grids[int(vt)].KNearest(pickup, 4)
-		for _, n := range near {
-			if n.Dist > dispatchRadius {
-				continue
-			}
-			idx, ok := w.driverIdx[n.ID]
-			if !ok {
-				continue
-			}
-			cand := w.drivers[idx]
-			if d == nil || cand.PriceFactor < d.PriceFactor {
-				d = cand
-			}
-		}
-		if d != nil {
-			price = d.PriceFactor
-		}
-	default:
-		near := w.grids[int(vt)].KNearest(pickup, 1)
-		if len(near) == 1 && near[0].Dist <= dispatchRadius {
-			if idx, ok := w.driverIdx[near[0].ID]; ok {
-				d = w.drivers[idx]
-			}
-		}
-		price = 1
-		if vt.Surgeable() {
-			price = w.surgeWeight(pickup)
-		}
-	}
-
-	// Price elasticity: high prices scare some passengers off entirely
-	// (§5.5's large negative demand effect). Applies to either market.
-	if vt.Surgeable() && price > 1 {
-		dropP := w.profile.Elasticity * (price - 1)
-		if dropP > 0.95 {
-			dropP = 0.95
-		}
-		if w.rng.Float64() < dropP {
-			w.TotalPricedOut++
-			if area >= 0 {
-				w.areaStats[area].PricedOut++
-			}
-			return
-		}
-	}
-
-	if d == nil {
-		w.TotalUnmet++
-		if area >= 0 {
-			w.areaStats[area].Unfulfilled++
-		}
-		return
-	}
-
-	// Book the driver: the car disappears from the map.
-	if w.cfg.Pricing == PricingDriverSet && w.now-d.idleSince < 300 {
-		// Booked within 5 minutes of becoming available: demand is hot,
-		// raise the asking price (win-stay).
-		d.PriceFactor = clampFactor(d.PriceFactor + 0.1)
-	}
-	d.State = StateEnRoute
-	d.Pickup = pickup
-	d.Dest = w.samplePlace()
-	d.destDrop = true
-	d.stops = nil
-	d.PoolRiders = 1
-	w.grids[int(d.Type)].Remove(d.ID)
-	w.TotalPickups++
-	w.priceSum += price
-	w.priceSumSq += price * price
-	w.priceN++
-	w.settleFare(d, pickup, d.Dest, price, area)
-	if area >= 0 {
-		w.areaStats[area].Pickups++
-	}
-	w.emit(bus.KindTripDispatch, d.Session, area, price, vt.String())
+	f.pos[s] = w.profile.Region.Clamp(f.pos[s].Add(move))
+	o.moves[f.typ[s]] = append(o.moves[f.typ[s]], geo.SlotPoint{Slot: s, Pos: f.pos[s]})
+	return true
 }
 
 // settleFare charges the passenger the upfront fare for the trip estimate
 // and splits it between the driver (80%) and the platform (20%).
-func (w *World) settleFare(d *Driver, pickup, dest geo.Point, multiplier float64, area int) {
+func (w *World) settleFare(slot int32, pickup, dest geo.Point, multiplier float64, area int) {
 	meters := geo.Dist(pickup, dest) * manhattanFactor
 	seconds := meters/StreetSpeed(w.now) + tripStopSeconds
-	fare := w.fares[d.Type].Fare(meters, seconds, multiplier)
+	fare := w.fares[core.VehicleType(w.fleet.typ[slot])].Fare(meters, seconds, multiplier)
 	w.FareVolume += fare
 	w.CommissionUSD += fare * CommissionRate
-	d.EarnedUSD += fare * (1 - CommissionRate)
+	w.fleet.earned[slot] += fare * (1 - CommissionRate)
 	if area >= 0 {
 		w.AreaFares[area] += fare
 	}
-}
-
-// poolMatchRadius is how close an in-progress POOL trip must pass for a
-// new rider to share it.
-const poolMatchRadius = 800.0
-
-// joinPool tries to add the rider to an existing single-rider POOL trip
-// nearby. The diverted route picks the new rider up first, then serves
-// both drop-offs.
-func (w *World) joinPool(pickup geo.Point, area int) bool {
-	for _, d := range w.drivers {
-		if d.Type != core.UberPOOL || d.State != StateOnTrip {
-			continue
-		}
-		if d.PoolRiders != 1 || len(d.stops) > 0 || !d.destDrop {
-			continue
-		}
-		if geo.Dist(d.Pos, pickup) > poolMatchRadius {
-			continue
-		}
-		d.stops = []PoolStop{
-			{Pos: d.Dest, Drop: true},
-			{Pos: w.samplePlace(), Drop: true},
-		}
-		joinDest := d.stops[1].Pos
-		d.Dest = pickup
-		d.destDrop = false
-		d.PoolRiders = 2
-		w.TotalPickups++
-		w.TotalPoolJoins++
-		w.priceSum++ // pool seats ride at multiplier 1
-		w.priceSumSq++
-		w.priceN++
-		w.settleFare(d, pickup, joinDest, 1, area)
-		if area >= 0 {
-			w.areaStats[area].Pickups++
-		}
-		w.emit(bus.KindTripDispatch, d.Session, area, 1, "POOL/join")
-		return true
-	}
-	return false
 }
 
 // clampFactor bounds a driver-set price factor to a plausible market
@@ -994,43 +905,61 @@ func clampFactor(f float64) float64 {
 	return f
 }
 
+// areaCount is one shard's per-area idle/busy tally.
+type areaCount struct{ idle, busy int32 }
+
 // accumulateStats samples per-area idle/busy counts for the surge
 // engine's trailing window. The tally is parallel over driver shards;
 // the per-shard integer counts merge into one exact total regardless of
 // shard or worker order, so the accumulated floats match the serial sum
-// bit for bit.
+// bit for bit. The per-shard buffers persist across ticks.
 func (w *World) accumulateStats() {
 	if len(w.areas) == 0 {
 		return
 	}
-	type areaCount struct{ idle, busy int }
-	n := len(w.drivers)
-	shards := numShards(n)
-	parts := make([][]areaCount, shards)
-	w.runShards(shards, func(s int) {
-		counts := make([]areaCount, len(w.areas))
-		lo, hi := shardBounds(s, n)
-		for _, d := range w.drivers[lo:hi] {
-			if !d.Type.Surgeable() {
+	f := &w.fleet
+	shards := numShards(f.high)
+	for len(w.statParts) < shards {
+		w.statParts = append(w.statParts, nil)
+	}
+	tally := func(s int) {
+		counts := w.statParts[s]
+		if len(counts) != len(w.areas) {
+			counts = make([]areaCount, len(w.areas))
+			w.statParts[s] = counts
+		} else {
+			for i := range counts {
+				counts[i] = areaCount{}
+			}
+		}
+		lo, hi := shardBounds(s, f.high)
+		for i := lo; i < hi; i++ {
+			if !f.live[i] || !core.VehicleType(f.typ[i]).Surgeable() {
 				continue
 			}
-			a := w.areaIndex.Find(d.Pos)
+			a := w.areaIndex.Find(f.pos[i])
 			if a < 0 {
 				continue
 			}
-			if d.State == StateIdle {
+			if DriverState(f.state[i]) == StateIdle {
 				counts[a].idle++
 			} else {
 				counts[a].busy++
 			}
 		}
-		parts[s] = counts
-	})
+	}
+	if w.workers <= 1 || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			tally(s)
+		}
+	} else {
+		w.runShards(shards, tally)
+	}
 	for i := range w.areas {
-		var idle, busy int
-		for s := range parts {
-			idle += parts[s][i].idle
-			busy += parts[s][i].busy
+		var idle, busy int32
+		for s := 0; s < shards; s++ {
+			idle += w.statParts[s][i].idle
+			busy += w.statParts[s][i].busy
 		}
 		st := &w.areaStats[i]
 		st.Ticks++
@@ -1050,41 +979,44 @@ func (w *World) ConsumeWindow(area int) WindowStats {
 // PeekWindow returns the accumulated stats without resetting them.
 func (w *World) PeekWindow(area int) WindowStats { return w.areaStats[area] }
 
-// EWT returns the estimated wait time in seconds for a product at a
-// location: dispatch overhead plus the street-grid travel time of the
-// nearest idle car, capped at the paper's observed 43-minute maximum.
-func (w *World) EWT(vt core.VehicleType, pos geo.Point) float64 {
-	near := w.grids[int(vt)].KNearest(pos, 1)
-	if len(near) == 0 {
-		return maxEWTSeconds
-	}
-	t := dispatchOverhead + near[0].Dist*manhattanFactor/StreetSpeed(w.now)
+// ewtFromDist converts a nearest-car distance to the estimated wait time.
+func ewtFromDist(dist float64, now int64) float64 {
+	t := dispatchOverhead + dist*manhattanFactor/StreetSpeed(now)
 	if t > maxEWTSeconds {
 		t = maxEWTSeconds
 	}
 	return t
 }
 
+// EWT returns the estimated wait time in seconds for a product at a
+// location: dispatch overhead plus the street-grid travel time of the
+// nearest idle car, capped at the paper's observed 43-minute maximum.
+func (w *World) EWT(vt core.VehicleType, pos geo.Point) float64 {
+	w.knnBuf = w.grids[int(vt)].KNearestInto(pos, 1, w.knnBuf)
+	if len(w.knnBuf) == 0 {
+		return maxEWTSeconds
+	}
+	return ewtFromDist(w.knnBuf[0].Dist, w.now)
+}
+
 // NearestCars returns up to k idle cars of the product nearest to pos, as
 // pingClient would render them: randomized session IDs, lat/lng positions,
 // and recent path vectors.
 func (w *World) NearestCars(vt core.VehicleType, pos geo.Point, k int) []core.CarView {
-	near := w.grids[int(vt)].KNearest(pos, k)
-	out := make([]core.CarView, 0, len(near))
-	for _, n := range near {
-		idx, ok := w.driverIdx[n.ID]
-		if !ok {
-			continue
-		}
-		d := w.drivers[idx]
-		pts := d.PathPoints()
+	f := &w.fleet
+	w.knnBuf = w.grids[int(vt)].KNearestInto(pos, k, w.knnBuf)
+	out := make([]core.CarView, 0, len(w.knnBuf))
+	var pts []geo.Point
+	for _, n := range w.knnBuf {
+		s := n.Slot
+		pts = f.pathPoints(s, pts[:0])
 		path := make([]geo.LatLng, len(pts))
 		for i, p := range pts {
 			path[i] = w.proj.ToLatLng(p)
 		}
 		out = append(out, core.CarView{
-			ID:   d.Session,
-			Pos:  w.proj.ToLatLng(d.Pos),
+			ID:   f.session[s],
+			Pos:  w.proj.ToLatLng(f.pos[s]),
 			Path: path,
 		})
 	}
@@ -1094,11 +1026,12 @@ func (w *World) NearestCars(vt core.VehicleType, pos geo.Point, k int) []core.Ca
 // CountByState returns how many online drivers of the product are in each
 // state; ground truth for validation and tests.
 func (w *World) CountByState(vt core.VehicleType) (idle, enroute, ontrip int) {
-	for _, d := range w.drivers {
-		if d.Type != vt {
+	f := &w.fleet
+	for s := 0; s < f.high; s++ {
+		if !f.live[s] || core.VehicleType(f.typ[s]) != vt {
 			continue
 		}
-		switch d.State {
+		switch DriverState(f.state[s]) {
 		case StateIdle:
 			idle++
 		case StateEnRoute:
@@ -1111,12 +1044,21 @@ func (w *World) CountByState(vt core.VehicleType) (idle, enroute, ontrip int) {
 }
 
 // OnlineDrivers returns the number of online drivers across all products.
-func (w *World) OnlineDrivers() int { return len(w.drivers) }
+func (w *World) OnlineDrivers() int { return w.fleet.n }
 
-// EachDriver visits every online driver in deterministic order.
+// EachDriver visits every online driver in deterministic (slot) order.
+// The *Driver passed to fn is a view materialized from the fleet columns
+// and reused between calls: callers that retain driver state beyond the
+// callback must copy the struct.
 func (w *World) EachDriver(fn func(d *Driver)) {
-	for _, d := range w.drivers {
-		fn(d)
+	f := &w.fleet
+	var d Driver
+	for s := int32(0); int(s) < f.high; s++ {
+		if !f.live[s] {
+			continue
+		}
+		f.view(s, &d)
+		fn(&d)
 	}
 }
 
