@@ -7,24 +7,45 @@
 //	loadgen -addr http://localhost:8080 -clients 16 -duration 30s
 //	loadgen -addr http://localhost:8080 -clients 8 -rate 2 -city sf
 //	loadgen -addr http://localhost:8080 -clients 16 -json > run.json
+//	loadgen -gateway -addr http://localhost:8090 -cities sf,manhattan
 //
 // With -rate 0 (the default) each client issues its next request as soon
 // as the previous response lands — the classic closed-loop saturation
 // probe. A positive -rate paces each client at that many requests per
 // second, emulating the paper's measurement fleet (43 clients, one ping
 // per 5 s ≈ -rate 0.2).
+//
+// With -gateway the target is an ubergate instance fronting several city
+// shards: clients are split round-robin across -cities (each querying its
+// city's center, so the gateway fans them out by GPS) and the report adds
+// per-city requests/errors — the numbers the gateway chaos smoke gates on
+// when it kills a shard mid-run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/loadgen"
 	"repro/internal/sim"
 )
+
+// cityOrigin resolves a city name to its profile center.
+func cityOrigin(name string) (geo.LatLng, error) {
+	switch name {
+	case "manhattan", "mhtn", "nyc":
+		return sim.Manhattan().Origin, nil
+	case "sf", "sanfrancisco":
+		return sim.SanFrancisco().Origin, nil
+	default:
+		return geo.LatLng{}, fmt.Errorf("unknown city %q (want manhattan or sf)", name)
+	}
+}
 
 func main() {
 	var (
@@ -38,33 +59,64 @@ func main() {
 		pingW    = flag.Int("ping-weight", 8, "pingClient share of the request mix")
 		priceW   = flag.Int("price-weight", 1, "estimates/price share of the request mix")
 		timeW    = flag.Int("time-weight", 1, "estimates/time share of the request mix")
+		citiesArg = flag.String("cities", "", "comma-separated cities for multi-city gateway mode (clients split round-robin; implies -gateway)")
+		gwMode    = flag.Bool("gateway", false, "target is an ubergate gateway: run multi-city (default cities sf,manhattan)")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON on stdout (banner goes to stderr)")
 		noRetry  = flag.Bool("no-retry", false, "disable client retries/circuit breaking (report raw fault rates)")
 		failErrs = flag.Bool("fail-on-errors", false, "exit 1 if any client-visible errors remain (chaos-smoke gate)")
 	)
 	flag.Parse()
 
+	var cities map[string]geo.LatLng
+	if *citiesArg != "" {
+		*gwMode = true
+	}
+	if *gwMode {
+		names := *citiesArg
+		if names == "" {
+			names = "sf,manhattan"
+		}
+		cities = make(map[string]geo.LatLng)
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			origin, err := cityOrigin(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cities[name] = origin
+		}
+	}
+
 	loc := geo.LatLng{Lat: *lat, Lng: *lng}
 	if *lat == 0 && *lng == 0 {
-		var profile *sim.CityProfile
-		switch *city {
-		case "manhattan", "mhtn", "nyc":
-			profile = sim.Manhattan()
-		case "sf", "sanfrancisco":
-			profile = sim.SanFrancisco()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown city %q (want manhattan or sf)\n", *city)
+		origin, err := cityOrigin(*city)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		loc = profile.Origin
+		loc = origin
 	}
 
 	banner := os.Stdout
 	if *asJSON {
 		banner = os.Stderr // keep stdout pure JSON for pipelines
 	}
-	fmt.Fprintf(banner, "loadgen: %d clients -> %s for %s (rate %g req/s/client, mix %d:%d:%d, loc %.4f,%.4f)\n",
-		*clients, *addr, *duration, *rate, *pingW, *priceW, *timeW, loc.Lat, loc.Lng)
+	if *gwMode {
+		names := make([]string, 0, len(cities))
+		for name := range cities {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(banner, "loadgen: %d clients -> gateway %s for %s (rate %g req/s/client, mix %d:%d:%d, cities %s)\n",
+			*clients, *addr, *duration, *rate, *pingW, *priceW, *timeW, strings.Join(names, ","))
+	} else {
+		fmt.Fprintf(banner, "loadgen: %d clients -> %s for %s (rate %g req/s/client, mix %d:%d:%d, loc %.4f,%.4f)\n",
+			*clients, *addr, *duration, *rate, *pingW, *priceW, *timeW, loc.Lat, loc.Lng)
+	}
 	report, err := loadgen.Run(loadgen.Config{
 		BaseURL:     *addr,
 		Clients:     *clients,
@@ -74,6 +126,7 @@ func main() {
 		PriceWeight: *priceW,
 		TimeWeight:  *timeW,
 		Loc:         loc,
+		Cities:      cities,
 		NoRetry:     *noRetry,
 	})
 	if err != nil {

@@ -10,6 +10,7 @@ package main
 import (
 	"errors"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -22,11 +23,17 @@ import (
 // busRuntime is the broker plus the optional in-process ingest consumer.
 type busRuntime struct {
 	broker *bus.Broker
+	open   atomic.Bool // true while the broker accepts publishes (readiness)
 
 	cons       *bus.Consumer
 	ing        *record.LiveIngester
 	ingestDone chan struct{}
 }
+
+// Open reports whether the broker is accepting events — the "bus"
+// readiness check: a shard configured to stream must not take traffic it
+// cannot record.
+func (rt *busRuntime) Open() bool { return rt != nil && rt.open.Load() }
 
 // startBus opens the broker at dir, wires all four producers, and (when
 // ingestDir is non-empty) starts the live tsdb ingester consuming the
@@ -84,6 +91,7 @@ func startBus(svc *api.Service, inj *chaos.Injector, reg *obs.Registry, dir, ing
 			return nil, err
 		}
 	}
+	rt.open.Store(true)
 	return rt, nil
 }
 
@@ -127,6 +135,7 @@ func (rt *busRuntime) startIngest(svc *api.Service, pings *bus.Topic, reg *obs.R
 // shutdown closes the broker (stopping producers), waits for the ingest
 // consumer to drain the backlog, and flushes rows before offsets.
 func (rt *busRuntime) shutdown(timeout time.Duration) {
+	rt.open.Store(false)
 	if err := rt.broker.Close(); err != nil {
 		log.Printf("uberd: bus close: %v", err)
 	}

@@ -73,7 +73,8 @@ func main() {
 		chaosLatency  = flag.Duration("chaos-latency", 0, "maximum injected delay (actual delay uniform up to this)")
 		maxInflight   = flag.Int("max-inflight", 0, "shed load with 503 above this many in-flight requests (0 = unlimited)")
 		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After advertised on shed responses")
-		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request handler timeout (0 = none)")
+		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request handler timeout (0 = header-only)")
+		drain         = flag.Duration("drain", 500*time.Millisecond, "readiness-drain delay before shutdown closes the listener")
 
 		busDir    = flag.String("bus", "", "publish backend events to an embedded bus broker at this directory")
 		busIngest = flag.String("bus-ingest", "", "live-ingest served pings into a tsdb campaign store at this directory (requires -bus)")
@@ -167,7 +168,17 @@ func main() {
 	// Middleware order (outermost first): shedding rejects before any work
 	// is done, fault injection sees only admitted requests, recovery turns
 	// handler panics into 500s, and the timeout bounds the real handler.
-	var apiHandler http.Handler = api.NewServer(svc, api.WithMetrics(reg), api.WithTracer(tracer))
+	// Readiness: the shard may take traffic once the first surge epoch is
+	// published and (when streaming) the bus accepts events; shutdown flips
+	// draining before the listener closes so a fronting ubergate routes
+	// around this shard instead of discovering connection errors.
+	ready := api.NewReadiness()
+	ready.AddCheck("epoch", svc.EpochPublished)
+	if busRT != nil {
+		ready.AddCheck("bus", busRT.Open)
+	}
+
+	var apiHandler http.Handler = api.NewServer(svc, api.WithMetrics(reg), api.WithTracer(tracer), api.WithReadiness(ready))
 	apiHandler = chaos.Timeout(apiHandler, *reqTimeout, reg)
 	apiHandler = chaos.Recover(apiHandler, reg)
 	if injector != nil {
@@ -177,6 +188,11 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", apiHandler)
 	mux.Handle("GET /metrics", reg.Handler())
+	// Health probes bypass the chaos chain: an injected fault must never
+	// make the gateway think the shard died, and a draining shard must
+	// still answer its last probes.
+	mux.Handle("GET /healthz", api.Healthz(svc.Now))
+	mux.Handle("GET /readyz", ready.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -194,11 +210,14 @@ func main() {
 	case err := <-errCh:
 		log.Fatal(err)
 	case <-ctx.Done():
-		// Graceful shutdown, in dependency order: stop the tick loop (no
-		// new sim events), stop serving (no new ping events), then close
-		// the bus and let the ingest consumer drain its backlog and make
-		// rows + committed offsets durable.
+		// Graceful shutdown, in dependency order: fail readiness and give
+		// any fronting gateway a drain window to route around us, stop the
+		// tick loop (no new sim events), stop serving (no new ping events),
+		// then close the bus and let the ingest consumer drain its backlog
+		// and make rows + committed offsets durable.
 		log.Printf("uberd: shutting down (sim t=%d)", svc.Now())
+		ready.SetDraining(true)
+		time.Sleep(*drain)
 		<-tickDone
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -38,6 +38,7 @@ type Server struct {
 	mux    *http.ServeMux
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	ready  *Readiness
 }
 
 // ServerOption configures a Server.
@@ -53,11 +54,22 @@ func WithTracer(t *obs.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithReadiness serves GET /readyz from rd instead of the default
+// (epoch-published) readiness, so a daemon can fold draining and bus
+// state into the same endpoint the gateway probes.
+func WithReadiness(rd *Readiness) ServerOption {
+	return func(s *Server) { s.ready = rd }
+}
+
 // NewServer wraps svc in an HTTP handler.
 func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.ready == nil {
+		s.ready = NewReadiness()
+		s.ready.AddCheck("epoch", svc.EpochPublished)
 	}
 	s.route("POST /login", "/login", s.handleLogin)
 	s.route("GET /pingClient", "/pingClient", s.handlePing)
@@ -66,6 +78,10 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route("GET /health", "/health", s.handleHealth)
 	s.route("POST /partner/login", "/partner/login", s.handlePartnerLogin)
 	s.route("GET /partner/surgeMap", "/partner/surgeMap", s.handlePartnerMap)
+	// Liveness and readiness are not instrumented endpoints: they are the
+	// gateway prober's signal and must stay cheap and unconditional.
+	s.mux.Handle("GET /healthz", Healthz(svc.Now))
+	s.mux.Handle("GET /readyz", s.ready.Handler())
 	return s
 }
 

@@ -48,16 +48,69 @@ type Remote struct {
 	noRetry    bool
 	breakerCfg chaos.BreakerConfig
 	noBreaker  bool
+	budget     *retryBudget
 
 	mu       sync.Mutex
 	breakers map[string]*chaos.Breaker
 
 	// nil-safe metric handles (wired by WithRegistry).
-	mRetries  *obs.Counter // attempts beyond the first
-	mGiveUps  *obs.Counter // calls that exhausted every attempt
-	mFastFail *obs.Counter // calls rejected by an open breaker
-	mOpens    *obs.Counter // breaker transitions into open
-	mNowErrs  *obs.Counter // Now() calls that hit a dead backend
+	mRetries   *obs.Counter // attempts beyond the first
+	mGiveUps   *obs.Counter // calls that exhausted every attempt
+	mFastFail  *obs.Counter // calls rejected by an open breaker
+	mOpens     *obs.Counter // breaker transitions into open
+	mNowErrs   *obs.Counter // Now() calls that hit a dead backend
+	mExhausted *obs.Counter // retries skipped on an empty retry budget
+}
+
+// retryBudget is a token bucket bounding the client's aggregate retry
+// volume across all endpoints. Exponential backoff decorrelates retries
+// in time but does not bound how many are in flight against a recovering
+// shard: a fleet of clients each retrying 12% of its requests is still a
+// 12% overload forever. The bucket makes the aggregate self-limiting:
+// each retry spends one token, and only successful requests earn tokens
+// back (refill per success, capped), so sustained retry volume can never
+// exceed the refill fraction of goodput. When the bucket is empty the
+// call gives up instead of retrying (counted, so an exhausted budget is
+// visible in /metrics rather than masquerading as backend failure).
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	refill float64 // tokens credited per successful request
+}
+
+// defaultRetryBudget allows bursts of 20 retries and a sustained retry
+// rate of 20% of successful traffic — comfortably above the chaos-smoke
+// fault rates, far below a retry storm.
+func defaultRetryBudget() *retryBudget {
+	return &retryBudget{tokens: 20, cap: 20, refill: 0.2}
+}
+
+// takeRetry spends one token; false means the budget is exhausted.
+func (b *retryBudget) takeRetry() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// creditSuccess refills the bucket for one successful request.
+func (b *retryBudget) creditSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.refill
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
 }
 
 var _ core.Service = (*Remote)(nil)
@@ -97,6 +150,26 @@ func WithoutBreaker() RemoteOption {
 	return func(r *Remote) { r.noBreaker = true }
 }
 
+// WithRetryBudget overrides the client-wide retry token bucket: capacity
+// tokens of burst, refillPerSuccess tokens earned back per successful
+// request. The budget bounds aggregate retry volume across every
+// endpoint so retries cannot storm a recovering shard.
+func WithRetryBudget(capacity int, refillPerSuccess float64) RemoteOption {
+	return func(r *Remote) {
+		r.budget = &retryBudget{
+			tokens: float64(capacity),
+			cap:    float64(capacity),
+			refill: refillPerSuccess,
+		}
+	}
+}
+
+// WithoutRetryBudget removes the retry budget (retries bounded only by
+// per-call attempt counts; tests that count exact attempts want this).
+func WithoutRetryBudget() RemoteOption {
+	return func(r *Remote) { r.budget = nil }
+}
+
 // WithRegistry wires the client's resilience counters into reg:
 //
 //	client_retries_total          retry attempts (beyond each call's first)
@@ -111,6 +184,7 @@ func WithRegistry(reg *obs.Registry) RemoteOption {
 		r.mFastFail = reg.Counter("client_breaker_fastfail_total")
 		r.mOpens = reg.Counter("client_breaker_opens_total")
 		r.mNowErrs = reg.Counter("client_now_errors_total")
+		r.mExhausted = reg.Counter("client_retry_budget_exhausted_total")
 	}
 }
 
@@ -139,6 +213,7 @@ func NewRemote(base string, hc *http.Client, opts ...RemoteOption) *Remote {
 		base:     base,
 		hc:       hc,
 		breakers: make(map[string]*chaos.Breaker),
+		budget:   defaultRetryBudget(),
 	}
 	for _, o := range opts {
 		o(r)
@@ -198,6 +273,7 @@ func (r *Remote) call(ctx context.Context, endpoint string, try func(context.Con
 		out = try(ctx)
 		if out.err == nil {
 			br.Report(true)
+			r.budget.creditSuccess()
 			return nil
 		}
 		if out.terminal {
@@ -206,6 +282,12 @@ func (r *Remote) call(ctx context.Context, endpoint string, try func(context.Con
 			return out.err
 		}
 		if a == max-1 {
+			break
+		}
+		if !r.budget.takeRetry() {
+			// The aggregate retry budget is spent: give up instead of
+			// joining a retry storm against a recovering backend.
+			r.mExhausted.Inc()
 			break
 		}
 		r.mRetries.Inc()
@@ -252,6 +334,19 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// applyDeadlineHeader stamps the remaining context deadline onto req as
+// chaos.DeadlineHeader so the server (and, through the gateway, the
+// shard behind it) can clamp its handler timeout to the caller's budget.
+func applyDeadlineHeader(ctx context.Context, req *http.Request) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	if ms := time.Until(dl).Milliseconds(); ms > 0 {
+		req.Header.Set(chaos.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
+}
+
 // retryAfterHeader parses a Retry-After value in seconds (the form our
 // server and most APIs emit; HTTP dates are ignored).
 func retryAfterHeader(resp *http.Response) time.Duration {
@@ -282,6 +377,7 @@ func (r *Remote) RegisterCtx(ctx context.Context, clientID string) error {
 			return attemptOutcome{err: fmt.Errorf("api: login: %w", err), terminal: true}
 		}
 		req.Header.Set("Content-Type", "application/json")
+		applyDeadlineHeader(ctx, req)
 		resp, err := r.hc.Do(req)
 		if err != nil {
 			return attemptOutcome{err: fmt.Errorf("api: login: %w", err)}
@@ -317,6 +413,7 @@ func (r *Remote) get(ctx context.Context, path, clientID string, loc geo.LatLng,
 		if err != nil {
 			return attemptOutcome{err: fmt.Errorf("api: GET %s: %w", path, err), terminal: true}
 		}
+		applyDeadlineHeader(ctx, req)
 		resp, err := r.hc.Do(req)
 		if err != nil {
 			return attemptOutcome{err: fmt.Errorf("api: GET %s: %w", path, err)}
@@ -426,6 +523,7 @@ func (r *Remote) NowCtx(ctx context.Context) (int64, error) {
 		if err != nil {
 			return attemptOutcome{err: err, terminal: true}
 		}
+		applyDeadlineHeader(ctx, req)
 		resp, err := r.hc.Do(req)
 		if err != nil {
 			return attemptOutcome{err: fmt.Errorf("api: GET /health: %w", err)}

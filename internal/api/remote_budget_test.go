@@ -1,0 +1,138 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+)
+
+// TestRetryBudgetBoundsAggregateRetries pins the retry-budget contract:
+// once the token bucket is spent, further calls make exactly one attempt
+// instead of amplifying load against a failing backend, and the exhaustion
+// is counted.
+func TestRetryBudgetBoundsAggregateRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	remote := NewRemote(ts.URL, ts.Client(),
+		WithBackoff(fastBackoff), // 4 attempts per call
+		WithRetryBudget(2, 0),    // 2 retries total, nothing earned back
+		WithoutBreaker(),         // isolate the budget from breaker fast-fails
+		WithRegistry(reg))
+
+	// First call: attempt + 2 budgeted retries, then the bucket is empty.
+	if _, err := remote.PingClient("c1", geo.LatLng{}); err == nil {
+		t.Fatal("expected failure from an all-500 backend")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("first call made %d attempts, want 3 (1 + 2 budget)", n)
+	}
+	// Subsequent calls are single attempts: the fleet stops hammering.
+	for i := 0; i < 3; i++ {
+		calls.Store(0)
+		if _, err := remote.PingClient("c1", geo.LatLng{}); err == nil {
+			t.Fatal("expected failure")
+		}
+		if n := calls.Load(); n != 1 {
+			t.Fatalf("post-exhaustion call made %d attempts, want 1", n)
+		}
+	}
+	if v := reg.Counter("client_retry_budget_exhausted_total").Value(); v < 3 {
+		t.Errorf("client_retry_budget_exhausted_total = %d, want >= 3", v)
+	}
+}
+
+// TestRetryBudgetRefillsOnSuccess: successful traffic earns retries back,
+// so a budget exhausted during an outage recovers with the backend.
+func TestRetryBudgetRefillsOnSuccess(t *testing.T) {
+	var failing atomic.Bool
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if failing.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		writePing(w)
+	}))
+	defer ts.Close()
+
+	remote := NewRemote(ts.URL, ts.Client(),
+		WithBackoff(fastBackoff),
+		WithRetryBudget(1, 1), // one token; each success earns one back
+		WithoutBreaker())
+
+	// Burn the budget.
+	failing.Store(true)
+	if _, err := remote.PingClient("c1", geo.LatLng{}); err == nil {
+		t.Fatal("expected failure")
+	}
+	// Heal the backend; one success refills one token...
+	failing.Store(false)
+	if _, err := remote.PingClient("c1", geo.LatLng{}); err != nil {
+		t.Fatal(err)
+	}
+	// ...which funds exactly one retry on the next flap.
+	failing.Store(true)
+	calls.Store(0)
+	if _, err := remote.PingClient("c1", geo.LatLng{}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("post-refill call made %d attempts, want 2 (1 + 1 refilled)", n)
+	}
+}
+
+// TestDeadlineHeaderStamped: calls whose context carries a deadline
+// advertise the remaining budget to the server.
+func TestDeadlineHeaderStamped(t *testing.T) {
+	headerCh := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case headerCh <- r.Header.Get("X-Request-Deadline-Ms"):
+		default:
+		}
+		writePing(w)
+	}))
+	defer ts.Close()
+
+	remote := NewRemote(ts.URL, ts.Client(), WithoutRetry())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := remote.PingClientCtx(ctx, "c1", geo.LatLng{}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-headerCh
+	if got == "" {
+		t.Fatal("deadline header missing on a call with a context deadline")
+	}
+
+	// No deadline, no header.
+	headerCh = make(chan string, 1)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case headerCh <- r.Header.Get("X-Request-Deadline-Ms"):
+		default:
+		}
+		writePing(w)
+	}))
+	defer ts2.Close()
+	remote2 := NewRemote(ts2.URL, ts2.Client(), WithoutRetry())
+	if _, err := remote2.PingClient("c1", geo.LatLng{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-headerCh; got != "" {
+		t.Fatalf("deadline header %q stamped without a context deadline", got)
+	}
+}

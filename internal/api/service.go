@@ -167,6 +167,14 @@ func (s *Service) Now() int64 {
 	return s.state.Load().world.Now
 }
 
+// EpochPublished reports whether a query epoch has been published — the
+// readiness condition for the lock-free query path (non-nil
+// atomic.Pointer). True from construction on; it exists so /readyz states
+// the invariant instead of assuming it.
+func (s *Service) EpochPublished() bool {
+	return s.state.Load() != nil
+}
+
 // World exposes the underlying world for ground-truth validation in tests
 // and experiments. Production callers use only core.Service.
 func (s *Service) World() *sim.World { return s.world }

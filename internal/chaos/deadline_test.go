@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestEffectiveTimeout(t *testing.T) {
+	req := func(header string) *http.Request {
+		r := httptest.NewRequest("GET", "/x", nil)
+		if header != "" {
+			r.Header.Set(DeadlineHeader, header)
+		}
+		return r
+	}
+	cases := []struct {
+		name   string
+		header string
+		max    time.Duration
+		want   time.Duration
+	}{
+		{"no header", "", time.Second, time.Second},
+		{"header tighter", "100", time.Second, 100 * time.Millisecond},
+		{"header looser", "5000", time.Second, time.Second},
+		{"header only", "250", 0, 250 * time.Millisecond},
+		{"no bound at all", "", 0, 0},
+		{"garbage ignored", "soon", time.Second, time.Second},
+		{"non-positive ignored", "-5", time.Second, time.Second},
+	}
+	for _, c := range cases {
+		if got := EffectiveTimeout(req(c.header), c.max); got != c.want {
+			t.Errorf("%s: EffectiveTimeout = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTimeoutClampsToPropagatedDeadline is the deadline-propagation
+// contract: a shard whose own limit is generous must still answer within
+// the budget the gateway forwarded.
+func TestTimeoutClampsToPropagatedDeadline(t *testing.T) {
+	reg := obs.NewRegistry()
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+			w.WriteHeader(http.StatusOK)
+		case <-r.Context().Done():
+		}
+	})
+	h := Timeout(slow, 10*time.Second, reg)
+
+	r := httptest.NewRequest("GET", "/x", nil)
+	r.Header.Set(DeadlineHeader, "30")
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, r)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("handler held the request %v despite a 30ms propagated budget", d)
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+	if reg.Counter("server_timeouts_total").Value() != 1 {
+		t.Error("timeout not counted")
+	}
+	if reg.Counter("server_deadline_clamped_total").Value() != 1 {
+		t.Error("clamp not counted")
+	}
+}
+
+func TestTimeoutFastHandlerUnaffectedByHeader(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := Timeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}), time.Second, reg)
+	r := httptest.NewRequest("GET", "/x", nil)
+	r.Header.Set(DeadlineHeader, "500")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d, want 418 passed through", rec.Code)
+	}
+	if reg.Counter("server_timeouts_total").Value() != 0 {
+		t.Error("fast handler counted as timeout")
+	}
+}
+
+func TestTimeoutZeroUsesHeaderOnly(t *testing.T) {
+	// d = 0 historically meant "no timeout"; it still does locally, but a
+	// propagated deadline is always honored.
+	reg := obs.NewRegistry()
+	blocked := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	h := Timeout(blocked, 0, reg)
+	r := httptest.NewRequest("GET", "/x", nil)
+	r.Header.Set(DeadlineHeader, "20")
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, r)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("header-only budget not applied with d = 0")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+}

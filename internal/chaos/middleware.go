@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -153,24 +154,82 @@ func Shed(next http.Handler, maxInFlight int, retryAfter time.Duration, reg *obs
 	})
 }
 
-// Timeout bounds each request's handler time at d; requests that exceed it
-// answer 503 (counted as server_timeouts_total via the handler body write).
-// It is http.TimeoutHandler with a JSON body, kept here so the daemon
-// assembles its whole middleware chain from one package.
-func Timeout(next http.Handler, d time.Duration, reg *obs.Registry) http.Handler {
-	if d <= 0 {
-		return next
+// DeadlineHeader is the wire header carrying a request's remaining
+// deadline budget in integer milliseconds. The gateway stamps it on every
+// forwarded request (and the resilient client on calls whose context has a
+// deadline); shards clamp their per-request timeout to it, so a slow shard
+// cannot hold gateway or client connections past the caller's own timeout.
+const DeadlineHeader = "X-Request-Deadline-Ms"
+
+// EffectiveTimeout resolves the handler budget for r: the configured max
+// clamped to the caller-propagated DeadlineHeader when one is present and
+// tighter. max <= 0 means "no local limit" (the header alone governs);
+// 0 is returned only when neither side imposes a bound.
+func EffectiveTimeout(r *http.Request, max time.Duration) time.Duration {
+	d := max
+	if v := r.Header.Get(DeadlineHeader); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			if hd := time.Duration(ms) * time.Millisecond; d <= 0 || hd < d {
+				d = hd
+			}
+		}
 	}
+	return d
+}
+
+// Timeout bounds each request's handler time at min(d, the caller's
+// propagated DeadlineHeader); requests that exceed the budget answer
+// 503 (counted as server_timeouts_total). Requests whose header tightened
+// the local limit are counted as server_deadline_clamped_total. Unlike
+// http.TimeoutHandler the budget is resolved per request, which is what
+// deadline propagation across the gateway hop needs.
+//
+// The handler runs in a goroutine against a buffered response; on timeout
+// the buffer is discarded and the goroutine's eventual writes go nowhere.
+// Handler panics are re-raised on the serving goroutine (matching
+// http.TimeoutHandler), so Recover/ErrAbortHandler semantics compose.
+func Timeout(next http.Handler, d time.Duration, reg *obs.Registry) http.Handler {
 	timeouts := reg.Counter("server_timeouts_total")
-	// http.TimeoutHandler doesn't expose its timeout path, so count from
-	// the inside: a handler whose request context is already dead when it
-	// returns was cut off (timeout, or a client that gave up — both are
-	// lost work worth counting).
-	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		next.ServeHTTP(w, r)
-		if err := r.Context().Err(); err != nil {
+	clamped := reg.Counter("server_deadline_clamped_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		budget := EffectiveTimeout(r, d)
+		if budget != d {
+			clamped.Inc()
+		}
+		if budget <= 0 { // neither a local limit nor a propagated one
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		r = r.WithContext(ctx)
+		rec := &bufferedResponse{status: http.StatusOK, header: make(http.Header)}
+		done := make(chan struct{})
+		panicCh := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicCh <- p
+					return
+				}
+				close(done)
+			}()
+			next.ServeHTTP(rec, r)
+		}()
+		select {
+		case <-done:
+			for k, vs := range rec.header {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(rec.status)
+			_, _ = w.Write(rec.body.Bytes())
+		case p := <-panicCh:
+			panic(p)
+		case <-ctx.Done():
 			timeouts.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"request timed out"}`)
 		}
 	})
-	return http.TimeoutHandler(inner, d, `{"error":"request timed out"}`)
 }

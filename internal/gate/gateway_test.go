@@ -1,0 +1,550 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/geo"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// backendServer runs a warm city backend behind an httptest server, the
+// way a real uberd shard looks to the gateway (API + /healthz + /readyz).
+func backendServer(t *testing.T, profile *sim.CityProfile, seed int64, opts ...api.ServerOption) *httptest.Server {
+	t.Helper()
+	svc := api.NewBackend(profile, seed, false)
+	svc.RunUntil(600)
+	ts := httptest.NewServer(api.NewServer(svc, opts...))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startGateway assembles and starts a gateway over the given shards with
+// test-speed health checking.
+func startGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 25 * time.Millisecond
+	}
+	if cfg.HealthTimeout == 0 {
+		// Probes against a live httptest backend can exceed the short test
+		// intervals under -race; a dead shard still fails instantly
+		// (connection refused), so this doesn't slow detection.
+		cfg.HealthTimeout = time.Second
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	t.Cleanup(g.Close)
+	return g
+}
+
+// registerVia posts a client registration through the gateway.
+func registerVia(t *testing.T, gwURL, clientID string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"client_id": clientID})
+	resp, err := http.Post(gwURL+"/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login via gateway: status %d", resp.StatusCode)
+	}
+}
+
+func getShardHeader(t *testing.T, gwURL, clientID string, loc geo.LatLng) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/estimates/price?client=%s&lat=%f&lng=%f",
+		gwURL, clientID, loc.Lat, loc.Lng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Ubergate-Shard")
+}
+
+func TestGatewayRoutesByGPSAcrossCities(t *testing.T) {
+	mh, sf := sim.Manhattan(), sim.SanFrancisco()
+	tsMH := backendServer(t, mh, 1)
+	tsSF := backendServer(t, sf, 2)
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh), regionSpec(sf)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsMH.URL},
+			{Name: "sf-0", Region: sf.Name, BaseURL: tsSF.URL},
+		},
+	})
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	registerVia(t, gw.URL, "c1")
+
+	// Same client, two cities: each query lands on the shard owning that
+	// city, and the response says which.
+	if code, shard := getShardHeader(t, gw.URL, "c1", mh.Origin); code != 200 || shard != "manhattan-0" {
+		t.Fatalf("manhattan query: code %d via %q", code, shard)
+	}
+	if code, shard := getShardHeader(t, gw.URL, "c1", sf.Origin); code != 200 || shard != "sf-0" {
+		t.Fatalf("sf query: code %d via %q", code, shard)
+	}
+
+	// The full client library works through the gateway end to end.
+	remote := api.NewRemote(gw.URL, nil)
+	ping, err := remote.PingClient("c1", mh.Origin)
+	if err != nil {
+		t.Fatalf("ping via gateway: %v", err)
+	}
+	if ping.Time != 600 {
+		t.Errorf("ping time = %d, want 600", ping.Time)
+	}
+	if now := remote.Now(); now != 600 {
+		t.Errorf("gateway /health time = %d, want 600", now)
+	}
+
+	// Outside both cities: the 404 is indistinguishable from a shard's own
+	// out-of-service answer.
+	if code, _ := getShardHeader(t, gw.URL, "c1", geo.LatLng{}); code != http.StatusNotFound {
+		t.Errorf("out-of-region code = %d, want 404", code)
+	}
+}
+
+func TestGatewayPlacementSurvivesRestart(t *testing.T) {
+	mh := sim.Manhattan()
+	tsA := backendServer(t, mh, 1)
+	tsB := backendServer(t, mh, 1)
+	cfg := func() Config {
+		return Config{
+			Regions: []RegionSpec{regionSpec(mh)},
+			Shards: []ShardSpec{
+				{Name: "manhattan-0", Region: mh.Name, BaseURL: tsA.URL},
+				{Name: "manhattan-1", Region: mh.Name, BaseURL: tsB.URL},
+			},
+		}
+	}
+	locs := grid(mh, 6)
+
+	run := func() []string {
+		g := startGateway(t, cfg())
+		gw := httptest.NewServer(g.Handler())
+		defer gw.Close()
+		registerVia(t, gw.URL, "c1")
+		placement := make([]string, len(locs))
+		for i, loc := range locs {
+			code, shard := getShardHeader(t, gw.URL, "c1", loc)
+			if code != 200 {
+				t.Fatalf("query %d: code %d", i, code)
+			}
+			placement[i] = shard
+		}
+		return placement
+	}
+	first := run()
+	second := run() // a brand-new gateway process, same shard fleet
+	for i := range locs {
+		if first[i] != second[i] {
+			t.Fatalf("restart moved cell %d: %s -> %s", i, first[i], second[i])
+		}
+	}
+}
+
+// TestGatewayKillShardMidCampaign is the headline robustness scenario:
+// three shards serve two cities, a multi-city loadgen fleet runs, and one
+// city's only shard is killed mid-run. The gateway must detect the death
+// within a couple of health-check intervals, shed that region with
+// 503 + Retry-After, and keep the other city's error rate at exactly zero.
+func TestGatewayKillShardMidCampaign(t *testing.T) {
+	mh, sf := sim.Manhattan(), sim.SanFrancisco()
+	tsMH0 := backendServer(t, mh, 1)
+	tsMH1 := backendServer(t, mh, 2)
+	tsSF := backendServer(t, sf, 3)
+
+	const interval = 50 * time.Millisecond
+	reg := obs.NewRegistry()
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh), regionSpec(sf)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsMH0.URL},
+			{Name: "manhattan-1", Region: mh.Name, BaseURL: tsMH1.URL},
+			{Name: "sf-0", Region: sf.Name, BaseURL: tsSF.URL},
+		},
+		HealthInterval: interval,
+		FailThreshold:  2,
+		Registry:       reg,
+	})
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	reportCh := make(chan *loadgen.Report, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rep, err := loadgen.Run(loadgen.Config{
+			BaseURL:  gw.URL,
+			Clients:  6,
+			Duration: 1500 * time.Millisecond,
+			Cities:   map[string]geo.LatLng{mh.Name: mh.Origin, sf.Name: sf.Origin},
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		reportCh <- rep
+	}()
+
+	// Kill SF's only shard mid-campaign, abruptly (in-flight connections
+	// die too, like kill -9).
+	time.Sleep(500 * time.Millisecond)
+	killed := time.Now()
+	tsSF.CloseClientConnections()
+	tsSF.Close()
+
+	var sfShard *Shard
+	for _, s := range g.Shards() {
+		if s.Name == "sf-0" {
+			sfShard = s
+		}
+	}
+	for sfShard.Alive() {
+		if time.Since(killed) > 2*time.Second {
+			t.Fatal("gateway never marked sf-0 down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// FailThreshold probes plus one in-flight one, with scheduler slack:
+	// the acceptance bound is "within two health-check intervals".
+	if d := time.Since(killed); d > 3*interval+500*time.Millisecond {
+		t.Errorf("detection took %v, want ~%v", d, 2*interval)
+	}
+
+	// A dead region is shed, not misrouted: direct probe sees the 503
+	// contract.
+	resp, err := http.Get(fmt.Sprintf("%s/estimates/price?client=probe&lat=%f&lng=%f",
+		gw.URL, sf.Origin.Lat, sf.Origin.Lng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("dead-region status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("dead-region 503 missing Retry-After")
+	}
+
+	var rep *loadgen.Report
+	select {
+	case rep = <-reportCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("loadgen never finished")
+	}
+
+	sfStats, mhStats := rep.Cities[sf.Name], rep.Cities[mh.Name]
+	if mhStats.Requests == 0 || sfStats.Requests == 0 {
+		t.Fatalf("degenerate run: %+v", rep.Cities)
+	}
+	// The healthy city never sees the other city's outage.
+	if mhStats.Errors != 0 {
+		t.Errorf("manhattan errors = %d, want 0 (sf death must not leak)", mhStats.Errors)
+	}
+	// The dead city's clients do see errors — shedding is loud, not a
+	// silent wrong-city answer.
+	if sfStats.Errors == 0 {
+		t.Error("sf clients saw no errors despite their region dying")
+	}
+	if v := reg.Counter("gate_shed_total", obs.L("region", sf.Name)).Value(); v == 0 {
+		t.Error("gate_shed_total{region=sf} = 0, want > 0")
+	}
+	if v := reg.Gauge("gate_shard_up", obs.L("shard", "sf-0")).Value(); v != 0 {
+		t.Errorf("gate_shard_up{sf-0} = %v, want 0", v)
+	}
+}
+
+// TestGatewayReroutesWithinRegion kills one of two replicas of the same
+// city: traffic reroutes to the survivor and clients see zero errors.
+func TestGatewayReroutesWithinRegion(t *testing.T) {
+	mh := sim.Manhattan()
+	tsA := backendServer(t, mh, 1)
+	tsB := backendServer(t, mh, 1) // same seed: identical worlds, true replicas
+	reg := obs.NewRegistry()
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsA.URL},
+			{Name: "manhattan-1", Region: mh.Name, BaseURL: tsB.URL},
+		},
+		HealthInterval: 25 * time.Millisecond,
+		Registry:       reg,
+	})
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// All loadgen clients query from the city center, i.e. one routing
+	// cell: find its owner so the kill hits the serving replica.
+	registerVia(t, gw.URL, "scout")
+	_, owner := getShardHeader(t, gw.URL, "scout", mh.Origin)
+	victim := tsA
+	if owner == "manhattan-1" {
+		victim = tsB
+	}
+
+	reportCh := make(chan *loadgen.Report, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rep, err := loadgen.Run(loadgen.Config{
+			BaseURL:  gw.URL,
+			Clients:  4,
+			Duration: 1200 * time.Millisecond,
+			Loc:      mh.Origin,
+		})
+		if err != nil {
+			errCh <- err
+			return
+		}
+		reportCh <- rep
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	victim.CloseClientConnections()
+	victim.Close()
+
+	var rep *loadgen.Report
+	select {
+	case rep = <-reportCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("loadgen never finished")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("client-visible errors = %d, want 0 (survivor should absorb the kill)", rep.Errors)
+	}
+	if v := reg.Counter("gate_reroutes_total").Value(); v == 0 {
+		t.Error("gate_reroutes_total = 0, want > 0")
+	}
+}
+
+// swapHandler lets a test replace a shard's entire backend behind a fixed
+// URL — the moral equivalent of the process being replaced by a fresh one
+// that lost its account table.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+func TestGatewayReloginAfterShardLosesAccounts(t *testing.T) {
+	mh := sim.Manhattan()
+	svc1 := api.NewBackend(mh, 1, false)
+	svc1.RunUntil(600)
+	sw := &swapHandler{}
+	sw.h.Store(http.Handler(api.NewServer(svc1)))
+	tsB := httptest.NewServer(sw)
+	defer tsB.Close()
+	tsA := backendServer(t, mh, 1)
+
+	reg := obs.NewRegistry()
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsA.URL},
+			{Name: "manhattan-1", Region: mh.Name, BaseURL: tsB.URL},
+		},
+		Registry: reg,
+	})
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	registerVia(t, gw.URL, "c1") // broadcast: both shards know c1
+
+	// The shard is replaced by a fresh process with an empty account table.
+	svc2 := api.NewBackend(mh, 1, false)
+	svc2.RunUntil(600)
+	sw.h.Store(http.Handler(api.NewServer(svc2)))
+
+	// Find a location manhattan-1 owns and query it: the fresh backend
+	// answers 401, the gateway replays the remembered login and retries.
+	for _, loc := range grid(mh, 8) {
+		route, err := g.Router().Pick(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if route.Shard.Name != "manhattan-1" {
+			continue
+		}
+		code, shard := getShardHeader(t, gw.URL, "c1", loc)
+		if code != 200 || shard != "manhattan-1" {
+			t.Fatalf("query after account loss: code %d via %q", code, shard)
+		}
+		if v := reg.Counter("gate_relogins_total").Value(); v == 0 {
+			t.Error("gate_relogins_total = 0, want > 0")
+		}
+		return
+	}
+	t.Fatal("test is vacuous: manhattan-1 owns no grid cell")
+}
+
+func TestGatewayReplaysLoginsIntoRecoveredShard(t *testing.T) {
+	mh := sim.Manhattan()
+	tsA := backendServer(t, mh, 1)
+
+	// Shard B reports not-ready until the test flips it — a shard that is
+	// warming up while accounts are being created elsewhere.
+	var up atomic.Bool
+	rd := api.NewReadiness()
+	rd.AddCheck("warm", up.Load)
+	tsB := backendServer(t, mh, 1, api.WithReadiness(rd))
+
+	reg := obs.NewRegistry()
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsA.URL},
+			{Name: "manhattan-1", Region: mh.Name, BaseURL: tsB.URL},
+		},
+		HealthInterval: 20 * time.Millisecond,
+		Registry:       reg,
+	})
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	registerVia(t, gw.URL, "c1") // only manhattan-0 is ready to take it
+
+	up.Store(true) // shard B becomes ready; the gateway replays c1 into it
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/estimates/price?client=c1&lat=%f&lng=%f",
+			tsB.URL, mh.Origin.Lat, mh.Origin.Lng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break // B knows the account now
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("login never replayed into recovered shard (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := reg.Counter("gate_login_replays_total").Value(); v == 0 {
+		t.Error("gate_login_replays_total = 0, want > 0")
+	}
+}
+
+func TestGatewayMetricsFanIn(t *testing.T) {
+	mh := sim.Manhattan()
+	tsA := backendServer(t, mh, 1)
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsA.URL},
+			// A shard that was configured but never came up: the fan-in must
+			// label its absence, not fail or block.
+			{Name: "manhattan-1", Region: mh.Name, BaseURL: "http://127.0.0.1:1"},
+		},
+		ScrapeTimeout: 500 * time.Millisecond,
+	})
+	// Generate one request so the live shard has series to relabel.
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+	registerVia(t, gw.URL, "c1")
+	getShardHeader(t, gw.URL, "c1", mh.Origin)
+
+	rec := httptest.NewRecorder()
+	g.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	if !strings.Contains(body, `shard="manhattan-0"`) {
+		t.Error("fan-in missing relabeled series from the live shard")
+	}
+	if !strings.Contains(body, "# ubergate: shard manhattan-1 metrics unavailable") {
+		t.Error("fan-in missing the dead-shard absence comment")
+	}
+	if !strings.Contains(body, "gate_shard_up") {
+		t.Error("fan-in missing the gateway's own series")
+	}
+	// No shard comment lines survive relabeling (duplicate TYPE metadata
+	// would break strict parsers).
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE") && strings.Contains(line, "uberd_") {
+			t.Errorf("shard TYPE comment leaked into fan-in: %q", line)
+		}
+	}
+}
+
+func TestInjectLabel(t *testing.T) {
+	cases := [][3]string{
+		{`requests_total{endpoint="/ping"} 4`, `shard="a"`, `requests_total{shard="a",endpoint="/ping"} 4`},
+		{`up 1`, `shard="a"`, `up{shard="a"} 1`},
+		{`weird`, `shard="a"`, `weird`},
+	}
+	for _, c := range cases {
+		if got := injectLabel(c[0], c[1]); got != c[2] {
+			t.Errorf("injectLabel(%q) = %q, want %q", c[0], got, c[2])
+		}
+	}
+}
+
+func TestGatewaySurgeMapRoutesByRegionParam(t *testing.T) {
+	mh, sf := sim.Manhattan(), sim.SanFrancisco()
+	tsMH := backendServer(t, mh, 1)
+	tsSF := backendServer(t, sf, 2)
+	g := startGateway(t, Config{
+		Regions: []RegionSpec{regionSpec(mh), regionSpec(sf)},
+		Shards: []ShardSpec{
+			{Name: "manhattan-0", Region: mh.Name, BaseURL: tsMH.URL},
+			{Name: "sf-0", Region: sf.Name, BaseURL: tsSF.URL},
+		},
+	})
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// Register a driver through the gateway (broadcast, like clients).
+	body, _ := json.Marshal(map[string]any{"driver_id": "d1", "agree_no_scraping": true})
+	resp, err := http.Post(gw.URL+"/partner/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("partner login: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(gw.URL + "/partner/surgeMap?driver=d1&region=" + sf.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := httputil.DumpResponse(resp, true)
+		t.Fatalf("surgeMap via region param: status %d\n%s", resp.StatusCode, b)
+	}
+	if shard := resp.Header.Get("X-Ubergate-Shard"); shard != "sf-0" {
+		t.Errorf("surgeMap served by %q, want sf-0", shard)
+	}
+
+	// No region, no GPS, two regions configured: ambiguous, a 400.
+	resp, err = http.Get(gw.URL + "/partner/surgeMap?driver=d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ambiguous surgeMap: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -37,6 +37,13 @@ type Config struct {
 	PingWeight, PriceWeight, TimeWeight int
 	// Loc is the queried location; must be inside the service region.
 	Loc geo.LatLng
+	// Cities, when non-empty, runs the fleet in multi-city gateway mode:
+	// clients are assigned round-robin over the city names (sorted, so the
+	// assignment is deterministic) and each queries its city's location
+	// instead of Loc. The report then carries per-city counters — the
+	// chaos-smoke gate reads them to check that killing one city's shard
+	// left the other city's error rate untouched.
+	Cities map[string]geo.LatLng
 	// Registry receives the run's metrics; a private one is created when
 	// nil. Passing a shared registry lets a caller merge loadgen series
 	// with its own /metrics exposition.
@@ -77,6 +84,14 @@ type EndpointStats struct {
 	P99         float64 `json:"p99_seconds"`
 }
 
+// CityStats summarizes one city's share of a multi-city run.
+type CityStats struct {
+	Clients     int   `json:"clients"`
+	Requests    int64 `json:"requests"`
+	Errors      int64 `json:"errors"`
+	RateLimited int64 `json:"rate_limited"`
+}
+
 // Report is the outcome of a run.
 type Report struct {
 	Elapsed     time.Duration            `json:"-"`
@@ -93,6 +108,8 @@ type Report struct {
 	BreakerOpens int64                    `json:"breaker_opens"`
 	RPS          float64                  `json:"req_per_sec"`
 	Endpoints    map[string]EndpointStats `json:"endpoints"`
+	// Cities is present only in multi-city mode (Config.Cities non-empty).
+	Cities map[string]CityStats `json:"cities,omitempty"`
 }
 
 // JSON renders the report as one machine-readable JSON object, the format
@@ -120,7 +137,27 @@ func (r *Report) String() string {
 			name, e.Requests, e.Errors, e.RateLimited,
 			fmtLatency(e.Mean), fmtLatency(e.P50), fmtLatency(e.P95), fmtLatency(e.P99))
 	}
+	if len(r.Cities) > 0 {
+		cities := make([]string, 0, len(r.Cities))
+		for name := range r.Cities {
+			cities = append(cities, name)
+		}
+		sort.Strings(cities)
+		fmt.Fprintf(&b, "%-18s %8s %10s %8s %8s\n", "city", "clients", "requests", "errors", "429s")
+		for _, name := range cities {
+			c := r.Cities[name]
+			fmt.Fprintf(&b, "%-18s %8d %10d %8d %8d\n",
+				name, c.Clients, c.Requests, c.Errors, c.RateLimited)
+		}
+	}
 	return b.String()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func fmtLatency(seconds float64) string {
@@ -154,6 +191,10 @@ func Run(cfg Config) (*Report, error) {
 		api.WithBackoff(chaos.Backoff{
 			Base: 10 * time.Millisecond, Cap: 500 * time.Millisecond, MaxAttempts: 8,
 		}),
+		// A wider retry budget to match: the default (20 tokens, 0.2/success)
+		// is sized for an app-like client, not a fleet pushing thousands of
+		// requests through sustained fault injection.
+		api.WithRetryBudget(64, 0.25),
 	}
 	if cfg.NoRetry {
 		ropts = append(ropts, api.WithoutRetry(), api.WithoutBreaker())
@@ -174,6 +215,29 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	remote := api.NewRemote(cfg.BaseURL, hc, ropts...)
+
+	// Client → city assignment: round-robin over sorted names so run N and
+	// run N+1 put client i in the same city (the kill-a-shard comparison
+	// depends on stable populations). Single-city runs get one unnamed
+	// city at cfg.Loc and skip the per-city accounting.
+	cityNames := make([]string, 0, len(cfg.Cities))
+	for name := range cfg.Cities {
+		cityNames = append(cityNames, name)
+	}
+	sort.Strings(cityNames)
+	multiCity := len(cityNames) > 0
+	clientCity := make([]int, cfg.Clients) // index into cityNames, -1 = cfg.Loc
+	clientLoc := make([]geo.LatLng, cfg.Clients)
+	for i := range clientLoc {
+		if multiCity {
+			clientCity[i] = i % len(cityNames)
+			clientLoc[i] = cfg.Cities[cityNames[clientCity[i]]]
+		} else {
+			clientCity[i] = -1
+			clientLoc[i] = cfg.Loc
+		}
+	}
+
 	ids := make([]string, cfg.Clients)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("loadgen-%d", i)
@@ -203,6 +267,18 @@ func Run(cfg Config) (*Report, error) {
 			limited: cfg.Registry.Counter("loadgen_requests_total", lbl, obs.L("result", "rate_limited")),
 		}
 	}
+	type cityCounters struct {
+		ok, errs, limited *obs.Counter
+	}
+	citySets := make([]cityCounters, len(cityNames))
+	for i, name := range cityNames {
+		lbl := obs.L("city", name)
+		citySets[i] = cityCounters{
+			ok:      cfg.Registry.Counter("loadgen_city_requests_total", lbl, obs.L("result", "ok")),
+			errs:    cfg.Registry.Counter("loadgen_city_requests_total", lbl, obs.L("result", "error")),
+			limited: cfg.Registry.Counter("loadgen_city_requests_total", lbl, obs.L("result", "rate_limited")),
+		}
+	}
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -210,6 +286,8 @@ func Run(cfg Config) (*Report, error) {
 	for w := 0; w < cfg.Clients; w++ {
 		go func(clientID string, seq int) {
 			defer func() { done <- struct{}{} }()
+			loc := clientLoc[seq]
+			city := clientCity[seq]
 			for i := seq; time.Now().Before(deadline); i++ {
 				// Weighted round-robin over the mix, offset per client so
 				// the fleet doesn't phase-lock on one endpoint.
@@ -227,11 +305,11 @@ func Run(cfg Config) (*Report, error) {
 				var err error
 				switch ep {
 				case 0:
-					_, err = remote.PingClient(clientID, cfg.Loc)
+					_, err = remote.PingClient(clientID, loc)
 				case 1:
-					_, err = remote.EstimatePrice(clientID, cfg.Loc)
+					_, err = remote.EstimatePrice(clientID, loc)
 				case 2:
-					_, err = remote.EstimateTime(clientID, cfg.Loc)
+					_, err = remote.EstimateTime(clientID, loc)
 				}
 				sets[ep].hist.ObserveDuration(time.Since(reqStart))
 				switch err {
@@ -241,6 +319,16 @@ func Run(cfg Config) (*Report, error) {
 					sets[ep].limited.Inc()
 				default:
 					sets[ep].errs.Inc()
+				}
+				if city >= 0 {
+					switch err {
+					case nil:
+						citySets[city].ok.Inc()
+					case api.ErrRateLimited:
+						citySets[city].limited.Inc()
+					default:
+						citySets[city].errs.Inc()
+					}
 				}
 				if interval > 0 {
 					if next := reqStart.Add(interval); time.Now().Before(next) {
@@ -275,6 +363,18 @@ func Run(cfg Config) (*Report, error) {
 		rep.Requests += es.Requests
 		rep.Errors += es.Errors
 		rep.RateLimited += es.RateLimited
+	}
+	if multiCity {
+		rep.Cities = make(map[string]CityStats, len(cityNames))
+		for i, name := range cityNames {
+			clients := cfg.Clients/len(cityNames) + boolInt(i < cfg.Clients%len(cityNames))
+			rep.Cities[name] = CityStats{
+				Clients:     clients,
+				Requests:    citySets[i].ok.Value() + citySets[i].errs.Value() + citySets[i].limited.Value(),
+				Errors:      citySets[i].errs.Value(),
+				RateLimited: citySets[i].limited.Value(),
+			}
+		}
 	}
 	// Resilience counters come straight from the shared registry (handle
 	// lookup is idempotent, so this reads what the Remote recorded).
