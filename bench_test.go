@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/geo"
+	"repro/internal/road"
 	"repro/internal/sim"
 	"repro/internal/surge"
 )
@@ -27,6 +28,9 @@ var (
 	benchOnce sync.Once
 	benchMHTN *experiments.CityRun
 	benchSF   *experiments.CityRun
+
+	benchRoadOnce  sync.Once
+	benchRoadGraph *road.Graph
 )
 
 func benchRuns(b *testing.B) (*experiments.CityRun, *experiments.CityRun) {
@@ -342,7 +346,10 @@ func fleetWorld(b *testing.B, name string) *sim.World {
 // BenchmarkStep measures one serial world tick at three fleet sizes.
 // Workers is pinned to 1 so the number tracks per-core throughput (the
 // phase-parallel speedup is worker-invariant by construction and
-// benchmarked separately in internal/sim).
+// benchmarked separately in internal/sim). The road=10k variant steps
+// the same ~10k-driver world on the street network (A* cruise and trip
+// routes, road-ETA dispatch refinement, congestion feedback) — the gate
+// holds it within 3× the euclidean fleet=10k tick.
 func BenchmarkStep(b *testing.B) {
 	for _, size := range []string{"10k", "100k", "1M"} {
 		b.Run("fleet="+size, func(b *testing.B) {
@@ -353,6 +360,44 @@ func BenchmarkStep(b *testing.B) {
 				w.Step()
 			}
 		})
+	}
+	b.Run("road=10k", func(b *testing.B) {
+		p := sim.Manhattan()
+		p.PeakDrivers, p.PeakRequestsPerHour = 22200, 2600
+		p.RoadNetwork = true
+		w := sim.NewWorld(sim.Config{Profile: p, Seed: 1, Workers: 1})
+		// The first ticks plan initial cruise routes for the whole fleet;
+		// pay that outside the timer so the number is the steady tick.
+		for i := 0; i < 20; i++ {
+			w.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Step()
+		}
+	})
+}
+
+// BenchmarkRoute measures one bidirectional A*+ALT query on the ~50k-node
+// benchmark street grid (random endpoint pairs, free flow). The routing
+// budget everything road-mode does per tick hangs off this number; the
+// gate keeps it under a millisecond.
+func BenchmarkRoute(b *testing.B) {
+	benchRoadOnce.Do(func() { benchRoadGraph = road.BenchGraph() })
+	g := benchRoadGraph
+	rt := road.NewRouter(g)
+	rng := rand.New(rand.NewSource(9))
+	n := int32(g.NumNodes())
+	// Warm the scratch buffers so steady-state queries are allocation-free.
+	rt.Route(0, n-1, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from, to := rng.Int31n(n), rng.Int31n(n)
+		if _, _, ok := rt.Route(from, to, nil); !ok && from != to {
+			b.Fatalf("no route %d -> %d", from, to)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ func main() {
 		preamble = flag.Bool("preamble", false, "prepend the EXPERIMENTS.md reading guide")
 		workers  = flag.Int("sim-workers", 0, "parallel tick workers per city simulation (0 = GOMAXPROCS; results are identical for any value)")
 		scale    = flag.Float64("fleet-scale", 1, "multiply each city's driver and request targets (load testing; 1 = calibrated size)")
+		opencab  = flag.Int("openstreetcab", 0, "run only the two-service price-comparison scenario for this many rush-hour hours (shared road network)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,11 @@ func main() {
 	}
 	defer w.Flush()
 
+	if *opencab > 0 {
+		opts := experiments.OpenStreetCabOptions{Seed: *seed, Hours: *opencab, Workers: *workers}
+		experiments.WriteOpenStreetCab(w, opts, experiments.RunOpenStreetCab(opts))
+		return
+	}
 	if *preamble {
 		experiments.WritePreamble(w)
 	}

@@ -31,6 +31,7 @@
 // Usage:
 //
 //	uberd -city sf -addr :8080 -speedup 60 -jitter
+//	uberd -city manhattan -road            # street-network movement + congestion
 //	uberd -city sf -chaos-error 0.1 -chaos-latency 50ms -chaos-latency-prob 0.2 -max-inflight 64
 //	uberd -city manhattan -bus /tmp/ubus -bus-ingest /tmp/live.tsdb
 package main
@@ -64,6 +65,7 @@ func main() {
 		warmup  = flag.Int64("warmup", 600, "simulation seconds to run before serving")
 		workers = flag.Int("sim-workers", 0, "parallel tick workers for the simulation (0 = GOMAXPROCS; results are identical for any value)")
 		scale   = flag.Float64("fleet-scale", 1, "multiply the city's driver and request targets (load testing; 1 = calibrated size)")
+		roads   = flag.Bool("road", false, "drive on the synthetic street network (A* routing, congestion feedback) instead of straight lines")
 
 		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed (same seed replays the same fault sequence)")
 		chaosError    = flag.Float64("chaos-error", 0, "probability of answering a request with an injected 500")
@@ -101,6 +103,9 @@ func main() {
 		os.Exit(2)
 	}
 	profile = profile.Scale(*scale)
+	if *roads {
+		profile.RoadNetwork = true
+	}
 
 	if *busIngest != "" && *busDir == "" {
 		fmt.Fprintln(os.Stderr, "-bus-ingest requires -bus")

@@ -1,8 +1,10 @@
-// Cheapride: the §6 surge-avoidance strategy as a passenger-facing tool.
-// Stand near Times Square during a surging evening, query the adjacent
-// surge areas through the public API, and when one offers a lower
-// multiplier reachable on foot before the car would arrive, report the
-// cheaper pickup plan.
+// Cheapride: comparison shopping across ride services (the §6 closing
+// scenario, popularized as OpenStreetCab). Two services — the Uber
+// backend and an app-hailed taxi fleet — run over the SAME street
+// network, so each fleet's trips congest the other's routes. A rider
+// near Times Square queries both public price/time APIs every five
+// minutes through strategy.PriceComparison and books whichever quote is
+// cheaper.
 package main
 
 import (
@@ -10,43 +12,68 @@ import (
 	"log"
 
 	"repro/internal/api"
+	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/road"
 	"repro/internal/sim"
 	"repro/internal/strategy"
+	"repro/internal/surge"
 )
 
 func main() {
+	// One street network, two worlds driving on it. With RoadShared the
+	// worlds only tally their edge loads; the harness commits congestion
+	// once per tick so both fleets slow each other down.
 	profile := sim.Manhattan()
-	svc := api.NewBackend(profile, 21, false)
-	svc.Register("rider")
-	advisor := strategy.NewAdvisor(svc, "rider", profile)
+	profile.RoadNetwork = true
+	taxiProfile := profile.TaxiCity(1)
+	net := road.ForProfile(profile.Name, profile.Region)
 
-	// Times Square corner, ~200 m from two surge-area boundaries.
-	pos := geo.Point{X: -120, Y: 280}
+	const start = 17 * 3600 // Monday evening rush
+	uberW := sim.NewWorld(sim.Config{
+		Profile: profile, Seed: 21, StartTime: start, Road: net, RoadShared: true,
+	})
+	taxiW := sim.NewWorld(sim.Config{
+		Profile: taxiProfile, Seed: 22, StartTime: start, Road: net, RoadShared: true,
+	})
+	uberSvc := api.NewService(uberW, surge.New(uberW, surge.Config{Params: profile.Surge, Seed: 21}))
+	taxiSvc := api.NewService(taxiW, surge.New(taxiW, surge.Config{Params: taxiProfile.Surge, Seed: 22}))
+	uberSvc.Register("rider")
+	taxiSvc.Register("rider")
 
-	// Scan Monday 4pm - midnight, once per 5-minute interval.
-	svc.RunUntil(16 * 3600)
-	checks, wins := 0, 0
-	var bestSaving float64
-	for svc.Now() < 24*3600 {
-		svc.RunUntil(svc.Now()/300*300 + 300 + 150) // mid-interval
-		adv, err := advisor.Advise(pos)
+	pc := &strategy.PriceComparison{Services: []strategy.ServiceEntry{
+		{Name: "uber", Svc: uberSvc, ClientID: "rider", Product: core.UberX},
+		{Name: "taxi", Svc: taxiSvc, ClientID: "rider", Product: core.UberT},
+	}}
+
+	// Times Square corner.
+	loc := uberW.Projection().ToLatLng(geo.Point{X: -120, Y: 280})
+
+	queries, taxiWins := 0, 0
+	var saved float64
+	for uberSvc.Now() < start+2*3600 { // two rush hours
+		uberSvc.Step()
+		taxiSvc.Step()
+		net.Cong.Commit()
+		if uberSvc.Now()%300 != 0 {
+			continue
+		}
+		c, err := pc.Compare(loc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		checks++
-		if adv.Best == nil {
-			continue
+		queries++
+		saved += c.Savings()
+		best := c.CheapestQuote()
+		if best.Service == "taxi" {
+			taxiWins++
 		}
-		wins++
-		if adv.Savings() > bestSaving {
-			bestSaving = adv.Savings()
+		fmt.Printf("%02d:%02d ", uberSvc.Now()/3600%24, uberSvc.Now()/60%60)
+		for _, q := range c.Quotes {
+			fmt.Printf(" %s $%.2f (%.1fx, car in %.1f min)", q.Service, q.USD, q.Surge, q.EWTSeconds/60)
 		}
-		fmt.Printf("%02d:%02d  surge here %.1f -> area %d offers %.1f; walk %.1f min (car arrives in %.1f min)\n",
-			svc.Now()/3600%24, svc.Now()/60%60,
-			adv.CurrentSurge, adv.Best.Area, adv.Best.Surge,
-			adv.Best.WalkSeconds/60, adv.Best.EWTSeconds/60)
+		fmt.Printf("  -> book %s, save $%.2f\n", best.Service, c.Savings())
 	}
-	fmt.Printf("\nchecked %d intervals: cheaper pickup available %d times (%.0f%%), best saving %.1fx\n",
-		checks, wins, float64(wins)/float64(checks)*100, bestSaving)
+	fmt.Printf("\n%d comparisons: taxi cheaper %d times (%.0f%%), total saved $%.2f\n",
+		queries, taxiWins, float64(taxiWins)/float64(queries)*100, saved)
 }

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenStreetCab runs the two-service scenario for one rush hour and
+// checks the coupling the scenario exists to demonstrate: both fleets
+// move passengers over the shared streets, the comparison client gets
+// dual quotes, and the combined load pushes some edge past free flow.
+func TestOpenStreetCab(t *testing.T) {
+	opts := OpenStreetCabOptions{Seed: 42, Hours: 1, Workers: 4}
+	res := RunOpenStreetCab(opts)
+	if res.Uber.Pickups == 0 || res.Uber.Dropoffs == 0 {
+		t.Fatalf("uber fleet idle: %+v", res.Uber)
+	}
+	if res.Taxi.Pickups == 0 || res.Taxi.Dropoffs == 0 {
+		t.Fatalf("taxi fleet idle: %+v", res.Taxi)
+	}
+	if res.Queries == 0 {
+		t.Fatal("comparison client never got dual quotes")
+	}
+	if res.Uber.Wins+res.Taxi.Wins != res.Queries {
+		t.Fatalf("wins %d+%d != queries %d", res.Uber.Wins, res.Taxi.Wins, res.Queries)
+	}
+	if res.PeakFactor <= 1 {
+		t.Fatal("two fleets of rush-hour trips left every edge at free flow")
+	}
+	var sb strings.Builder
+	WriteOpenStreetCab(&sb, opts, res)
+	out := sb.String()
+	for _, want := range []string{"uber fleet: pickups=", "taxi fleet: pickups=", "comparison: queries="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package road
+
+// Congestion is the per-directed-edge time-varying slowdown state. Each
+// tick the sim tallies, in a serial phase, how many active (en-route or
+// on-trip) vehicles currently occupy each edge via AddLoad, then Commit
+// folds the loads into the factor table:
+//
+//	factor' = clamp(1 + (factor−1)·Decay + Gain·load/capacity, 1, Max)
+//
+// Decay < 1 pulls an unloaded edge back toward free flow; Gain·load/cap
+// pushes a loaded one up. The update is monotone non-decreasing in load
+// (Gain > 0), which is what the never-faster-traversal test pins: more
+// trips on an edge can only slow it.
+//
+// Phase discipline: AddLoad and Commit run only in serial commit
+// sections; Factors() hands the live table to the parallel phases as a
+// read-only view (it only changes inside Commit). The routers' landmark
+// bounds stay valid because factors never drop below 1.
+type Congestion struct {
+	g      *Graph
+	factor []float64
+	load   []int32
+	cap    []float64 // vehicles an edge absorbs before slowing
+
+	// Gain, Decay, and Max are the update-rule constants; exported so
+	// experiments can stiffen or soften a city's traffic response.
+	Gain  float64
+	Decay float64
+	Max   float64
+}
+
+// Default congestion constants: an edge at capacity gains ~0.9 factor
+// points per commit, memory halves in ~4 ticks, and gridlock tops out at
+// 4× free-flow time.
+const (
+	defaultGain  = 0.9
+	defaultDecay = 0.85
+	defaultMax   = 4.0
+)
+
+// NewCongestion returns free-flow congestion state for g. Edge capacity
+// scales with length (one vehicle per 60 m, min 1): a long arterial
+// absorbs more trips than a short block before slowing.
+func NewCongestion(g *Graph) *Congestion {
+	m := g.NumEdges()
+	c := &Congestion{
+		g:      g,
+		factor: make([]float64, m),
+		load:   make([]int32, m),
+		cap:    make([]float64, m),
+		Gain:   defaultGain,
+		Decay:  defaultDecay,
+		Max:    defaultMax,
+	}
+	for e := 0; e < m; e++ {
+		c.factor[e] = 1
+		cp := g.length[e] / 60
+		if cp < 1 {
+			cp = 1
+		}
+		c.cap[e] = cp
+	}
+	return c
+}
+
+// AddLoad counts one active vehicle on directed edge e this tick.
+// Serial-phase only.
+func (c *Congestion) AddLoad(e int32) { c.load[e]++ }
+
+// Commit folds the tick's loads into the factor table and resets them.
+// Serial-phase only; in a shared-network (two-service) setup exactly one
+// party calls Commit per tick, after every world has tallied.
+func (c *Congestion) Commit() {
+	for e := range c.factor {
+		f := 1 + (c.factor[e]-1)*c.Decay + c.Gain*float64(c.load[e])/c.cap[e]
+		if f < 1 {
+			f = 1
+		}
+		if f > c.Max {
+			f = c.Max
+		}
+		c.factor[e] = f
+		c.load[e] = 0
+	}
+}
+
+// Factor returns edge e's current slowdown multiple (≥ 1).
+func (c *Congestion) Factor(e int32) float64 { return c.factor[e] }
+
+// Factors returns the live factor table as a read-only view: it is
+// stable between Commits, so the parallel phases may read it freely.
+func (c *Congestion) Factors() []float64 { return c.factor }
+
+// CloneFactors returns a frozen copy of the factor table, appended to
+// buf — what a snapshot embeds so lock-free queries survive later
+// Commits.
+func (c *Congestion) CloneFactors(buf []float64) []float64 {
+	return append(buf[:0], c.factor...)
+}

@@ -1,0 +1,214 @@
+package road
+
+import (
+	"hash/fnv"
+
+	"repro/internal/geo"
+)
+
+// GenConfig parameterizes the synthetic street generator.
+type GenConfig struct {
+	// Region is the rectangle the grid spans; nodes cover it exactly.
+	Region geo.Rect
+	// Block is the target block edge length in meters (default 120).
+	Block float64
+	// ArterialEvery makes every k-th row and column a faster arterial
+	// (default 4; 0 disables arterials).
+	ArterialEvery int
+	// Bridges is how many interior crossings span the river band cut
+	// through the middle of the grid (default 3). The perimeter ring road
+	// always crosses at both banks, so connectivity never depends on it.
+	Bridges int
+	// JitterFrac displaces interior nodes by up to this fraction of a
+	// block in each axis (default 0.18); boundary (ring) nodes stay on
+	// the perimeter. Jitter is hashed per node, not drawn from a stream,
+	// so the graph is identical however it is built.
+	JitterFrac float64
+	// Seed keys the jitter hash.
+	Seed uint64
+}
+
+func (c *GenConfig) defaults() {
+	if c.Block <= 0 {
+		c.Block = 120
+	}
+	if c.ArterialEvery < 0 {
+		c.ArterialEvery = 0
+	} else if c.ArterialEvery == 0 {
+		c.ArterialEvery = 4
+	}
+	if c.Bridges <= 0 {
+		c.Bridges = 3
+	}
+	if c.JitterFrac <= 0 {
+		c.JitterFrac = 0.18
+	}
+}
+
+// Generate builds the street graph for the config. The topology is a
+// cols×rows lattice: every node connects to its 4-neighbors, perimeter
+// edges form a fast ring road, every ArterialEvery-th interior row and
+// column is an arterial, and a horizontal river band severs the interior
+// vertical edges between the two middle rows except at Bridges evenly
+// spaced crossing columns. Both directions of every street are emitted
+// with identical base times.
+func Generate(cfg GenConfig) *Graph {
+	cfg.defaults()
+	w, h := cfg.Region.Width(), cfg.Region.Height()
+	cols := int(w/cfg.Block) + 1
+	rows := int(h/cfg.Block) + 1
+	if cols < 3 {
+		cols = 3
+	}
+	if rows < 3 {
+		rows = 3
+	}
+	dx := w / float64(cols-1)
+	dy := h / float64(rows-1)
+
+	g := &Graph{nodes: make([]geo.Point, cols*rows)}
+	for j := 0; j < rows; j++ {
+		for i := 0; i < cols; i++ {
+			p := geo.Point{
+				X: cfg.Region.Min.X + float64(i)*dx,
+				Y: cfg.Region.Min.Y + float64(j)*dy,
+			}
+			if i > 0 && i < cols-1 && j > 0 && j < rows-1 {
+				jx, jy := nodeJitter(cfg.Seed, i, j)
+				p.X += jx * cfg.JitterFrac * dx
+				p.Y += jy * cfg.JitterFrac * dy
+			}
+			g.nodes[j*cols+i] = p
+		}
+	}
+
+	riverRow := rows/2 - 1 // river lies between riverRow and riverRow+1
+	bridgeCols := make(map[int]bool, cfg.Bridges)
+	for k := 1; k <= cfg.Bridges; k++ {
+		bridgeCols[k*(cols-1)/(cfg.Bridges+1)] = true
+	}
+
+	type rawEdge struct {
+		a, b  int32
+		class uint8
+	}
+	edges := make([]rawEdge, 0, 2*cols*rows)
+	add := func(ai, aj, bi, bj int, class uint8) {
+		edges = append(edges, rawEdge{
+			a: int32(aj*cols + ai), b: int32(bj*cols + bi), class: class,
+		})
+	}
+	for j := 0; j < rows; j++ {
+		for i := 0; i < cols; i++ {
+			// Horizontal street to the east neighbor.
+			if i+1 < cols {
+				class := ClassLocal
+				switch {
+				case j == 0 || j == rows-1:
+					class = ClassRing
+				case j%cfg.ArterialEvery == 0:
+					class = ClassArterial
+				}
+				add(i, j, i+1, j, class)
+			}
+			// Vertical street to the north neighbor.
+			if j+1 < rows {
+				class := ClassLocal
+				switch {
+				case i == 0 || i == cols-1:
+					class = ClassRing
+				case i%cfg.ArterialEvery == 0:
+					class = ClassArterial
+				}
+				if j == riverRow && i > 0 && i < cols-1 {
+					if !bridgeCols[i] {
+						continue // the river: no crossing here
+					}
+					class = ClassBridge
+				}
+				add(i, j, i, j+1, class)
+			}
+		}
+	}
+
+	// CSR over both directions of every street.
+	n := len(g.nodes)
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e.a+1]++
+		deg[e.b+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	m := 2 * len(edges)
+	g.start = deg
+	g.to = make([]int32, m)
+	g.length = make([]float64, m)
+	g.base = make([]float64, m)
+	g.class = make([]uint8, m)
+	fill := make([]int32, n)
+	place := func(a, b int32, class uint8, length float64) {
+		e := g.start[a] + fill[a]
+		fill[a]++
+		g.to[e] = b
+		g.length[e] = length
+		g.base[e] = length / classSpeed[class]
+		g.class[e] = class
+	}
+	for _, e := range edges {
+		l := geo.Dist(g.nodes[e.a], g.nodes[e.b])
+		place(e.a, e.b, e.class, l)
+		place(e.b, e.a, e.class, l)
+	}
+	// Reverse-partner table: every street was emitted in both directions,
+	// so the lookup always succeeds. The backward search costs incoming
+	// edges through this.
+	g.rev = make([]int32, m)
+	for a := int32(0); int(a) < n; a++ {
+		for e := g.start[a]; e < g.start[a+1]; e++ {
+			g.rev[e] = g.EdgeBetween(g.to[e], a)
+		}
+	}
+
+	g.buildNodeGrid(2 * cfg.Block)
+	g.computeLandmarks(defaultLandmarks)
+	return g
+}
+
+// nodeJitter returns two deterministic uniforms in [-1, 1) for node (i, j).
+func nodeJitter(seed uint64, i, j int) (x, y float64) {
+	h := splitmix(seed ^ 0x8f4a91c36e5d201b)
+	h = splitmix(h ^ uint64(i))
+	h = splitmix(h ^ uint64(j))
+	x = float64(h>>11)/(1<<53)*2 - 1
+	h = splitmix(h)
+	y = float64(h>>11)/(1<<53)*2 - 1
+	return x, y
+}
+
+// splitmix is the splitmix64 finalizer, the jitter hash.
+func splitmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ForProfile builds the network for a named city region. The seed hashes
+// the city name only — never the sim seed or worker count — so every
+// world of a city (any seed, any shard layout) drives the same streets.
+func ForProfile(name string, region geo.Rect) *Network {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return NewNetwork(Generate(GenConfig{Region: region, Seed: h.Sum64()}))
+}
+
+// BenchGraph returns the ~50k-node default grid BenchmarkRoute runs
+// against: a 22.4 km square at 100 m blocks (225×225 nodes).
+func BenchGraph() *Graph {
+	return Generate(GenConfig{
+		Region: geo.NewRect(geo.Point{X: -11200, Y: -11200}, geo.Point{X: 11200, Y: 11200}),
+		Block:  100,
+		Seed:   0x5eed0f50ad,
+	})
+}

@@ -1,0 +1,349 @@
+package road
+
+import "math"
+
+// Point-to-point routing: bidirectional A* with ALT (A*, Landmarks,
+// Triangle inequality) lower bounds.
+//
+// Landmarks are chosen by farthest-point sampling over base (free-flow)
+// times and a single-source distance table is stored per landmark. For a
+// query s→t the forward potential is
+//
+//	pf(v) = (πf(v) − πb(v)) / 2
+//	πf(v) = max_L |d(L,v) − d(L,t)|   (lower bound on d(v,t))
+//	πb(v) = max_L |d(L,v) − d(L,s)|   (lower bound on d(s,v))
+//
+// and the backward potential is pb = −pf, so pf+pb is the constant 0 and
+// the searches stop as soon as topF + topB ≥ μ (the best s→t cost seen).
+// Both potentials are feasible on the *congested* graph: the landmark
+// tables are over base times, congestion factors are ≥ 1, and the base
+// graph is symmetric, so for any edge (u,v),
+// pf(u) − pf(v) ≤ d_base(u,v) ≤ cost(u,v).
+//
+// The returned cost is recomputed as the ordered s→t sum over the found
+// path, so when the shortest path is unique it is bit-for-bit equal to a
+// textbook Dijkstra's dist[t] (which accumulates along the same chain in
+// the same order) — the property test pins this.
+
+// defaultLandmarks is how many ALT landmarks Generate precomputes.
+const defaultLandmarks = 8
+
+// computeLandmarks farthest-point-samples k landmarks and stores their
+// base-time distance tables. Deterministic: the seed vertex is the node
+// farthest from node 0.
+func (g *Graph) computeLandmarks(k int) {
+	n := g.NumNodes()
+	if n == 0 || k <= 0 {
+		return
+	}
+	if k > n {
+		k = n
+	}
+	d0 := g.baseDijkstra(0)
+	cur, best := int32(0), -1.0
+	for v, dv := range d0 {
+		if !math.IsInf(dv, 1) && dv > best {
+			best, cur = dv, int32(v)
+		}
+	}
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = math.Inf(1)
+	}
+	g.lm = make([][]float64, 0, k)
+	for len(g.lm) < k {
+		d := g.baseDijkstra(cur)
+		g.lm = append(g.lm, d)
+		next, far := int32(-1), 0.0
+		for v := range minD {
+			if d[v] < minD[v] {
+				minD[v] = d[v]
+			}
+			if !math.IsInf(minD[v], 1) && minD[v] > far {
+				far, next = minD[v], int32(v)
+			}
+		}
+		if next < 0 || far == 0 {
+			break
+		}
+		cur = next
+	}
+}
+
+// baseDijkstra returns single-source free-flow distances from src.
+func (g *Graph) baseDijkstra(src int32) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := pq{{key: 0, node: src}}
+	for len(h) > 0 {
+		it := h.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for e := g.start[u]; e < g.start[u+1]; e++ {
+			v := g.to[e]
+			if nd := dist[u] + g.base[e]; nd < dist[v] {
+				dist[v] = nd
+				h.push(pqItem{key: nd, node: v})
+			}
+		}
+	}
+	return dist
+}
+
+// pqItem is one binary-heap entry.
+type pqItem struct {
+	key  float64
+	node int32
+}
+
+// pq is a slice-backed binary min-heap with lazy deletion (stale entries
+// are skipped by the settled check at pop sites).
+type pq []pqItem
+
+func (h *pq) push(it pqItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].key <= s[i].key {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *pq) pop() pqItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].key < s[m].key {
+			m = l
+		}
+		if r < n && s[r].key < s[m].key {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
+}
+
+// Router holds the per-query scratch of the bidirectional search. A
+// Router serves one query at a time; the sim keeps one per shard (and one
+// for serial phases), the snapshot query path borrows from the graph's
+// pool. Version stamps make query start O(1) — no array clearing.
+type Router struct {
+	g *Graph
+
+	distF, distB []float64
+	parF, parB   []int32 // parent toward s / toward t
+	seenF, seenB []int32 // stamp: label valid
+	doneF, doneB []int32 // stamp: node settled
+	stamp        int32
+
+	heapF, heapB pq
+	lmS, lmT     []float64 // landmark distances to s and t, per query
+	path         []int32
+}
+
+// NewRouter returns a router bound to g.
+func NewRouter(g *Graph) *Router {
+	n := g.NumNodes()
+	return &Router{
+		g:     g,
+		distF: make([]float64, n), distB: make([]float64, n),
+		parF: make([]int32, n), parB: make([]int32, n),
+		seenF: make([]int32, n), seenB: make([]int32, n),
+		doneF: make([]int32, n), doneB: make([]int32, n),
+		lmS: make([]float64, len(g.lm)), lmT: make([]float64, len(g.lm)),
+	}
+}
+
+// cost returns edge e's traversal time under the factor table (nil =
+// free flow).
+func edgeCost(g *Graph, factors []float64, e int32) float64 {
+	if factors == nil {
+		return g.base[e]
+	}
+	return g.base[e] * factors[e]
+}
+
+// pf is the forward potential at v (backward is its negation).
+func (r *Router) pf(v int32) float64 {
+	var hf, hb float64
+	for l, d := range r.g.lm {
+		f := math.Abs(d[v] - r.lmT[l])
+		if f > hf {
+			hf = f
+		}
+		b := math.Abs(d[v] - r.lmS[l])
+		if b > hb {
+			hb = b
+		}
+	}
+	return (hf - hb) / 2
+}
+
+// Route returns the congested travel time and street distance of the
+// shortest s→t path; ok is false when no path exists. factors is the
+// per-edge congestion table (nil = free flow); it is only read.
+func (r *Router) Route(from, to int32, factors []float64) (seconds, meters float64, ok bool) {
+	r.path, seconds, meters, ok = r.route(from, to, factors, r.path[:0])
+	return seconds, meters, ok
+}
+
+// RoutePath is Route, also appending the node sequence (from … to) to
+// buf and returning it.
+func (r *Router) RoutePath(from, to int32, factors []float64, buf []int32) (path []int32, seconds, meters float64, ok bool) {
+	return r.route(from, to, factors, buf)
+}
+
+func (r *Router) route(from, to int32, factors []float64, buf []int32) ([]int32, float64, float64, bool) {
+	g := r.g
+	if from == to {
+		return append(buf, from), 0, 0, true
+	}
+	r.stamp++
+	if r.stamp == math.MaxInt32 {
+		// Stamp wrap (after ~2^31 queries): flush the version arrays so
+		// stale stamps can never collide with reused values.
+		for i := range r.seenF {
+			r.seenF[i], r.seenB[i], r.doneF[i], r.doneB[i] = 0, 0, 0, 0
+		}
+		r.stamp = 1
+	}
+	for l, d := range g.lm {
+		r.lmS[l] = d[from]
+		r.lmT[l] = d[to]
+	}
+	r.heapF = r.heapF[:0]
+	r.heapB = r.heapB[:0]
+	st := r.stamp
+
+	r.distF[from] = 0
+	r.seenF[from] = st
+	r.parF[from] = -1
+	r.heapF.push(pqItem{key: r.pf(from), node: from})
+
+	r.distB[to] = 0
+	r.seenB[to] = st
+	r.parB[to] = -1
+	r.heapB.push(pqItem{key: -r.pf(to), node: to})
+
+	mu := math.Inf(1)
+	meetF, meetB := int32(-1), int32(-1)
+
+	// relaxF settles u forward and scans its outgoing edges.
+	relaxF := func(u int32) {
+		du := r.distF[u]
+		for e := g.start[u]; e < g.start[u+1]; e++ {
+			v := g.to[e]
+			if r.doneF[v] == st {
+				continue
+			}
+			nd := du + edgeCost(g, factors, e)
+			if r.seenF[v] != st || nd < r.distF[v] {
+				r.distF[v] = nd
+				r.seenF[v] = st
+				r.parF[v] = u
+				r.heapF.push(pqItem{key: nd + r.pf(v), node: v})
+			}
+			if r.seenB[v] == st {
+				if c := nd + r.distB[v]; c < mu {
+					mu, meetF, meetB = c, u, v
+				}
+			}
+		}
+	}
+	// relaxB settles x backward and scans its incoming edges via the
+	// reverse-partner table (every street has both directions).
+	relaxB := func(x int32) {
+		dx := r.distB[x]
+		for e := g.start[x]; e < g.start[x+1]; e++ {
+			u := g.to[e]
+			if r.doneB[u] == st {
+				continue
+			}
+			rev := g.rev[e] // original edge u→x
+			nd := dx + edgeCost(g, factors, rev)
+			if r.seenB[u] != st || nd < r.distB[u] {
+				r.distB[u] = nd
+				r.seenB[u] = st
+				r.parB[u] = x
+				r.heapB.push(pqItem{key: nd - r.pf(u), node: u})
+			}
+			if r.seenF[u] == st {
+				if c := r.distF[u] + edgeCost(g, factors, rev) + dx; c < mu {
+					mu, meetF, meetB = c, u, x
+				}
+			}
+		}
+	}
+
+	for len(r.heapF) > 0 && len(r.heapB) > 0 {
+		if r.heapF[0].key+r.heapB[0].key >= mu {
+			break
+		}
+		if r.heapF[0].key <= r.heapB[0].key {
+			it := r.heapF.pop()
+			u := it.node
+			if r.doneF[u] == st {
+				continue
+			}
+			r.doneF[u] = st
+			relaxF(u)
+		} else {
+			it := r.heapB.pop()
+			x := it.node
+			if r.doneB[x] == st {
+				continue
+			}
+			r.doneB[x] = st
+			relaxB(x)
+		}
+	}
+	if math.IsInf(mu, 1) {
+		return buf, 0, 0, false
+	}
+
+	// Assemble s..meetF then meetB..t, then recompute the cost as the
+	// ordered s→t sum so it is bit-equal to a serial Dijkstra's.
+	head := len(buf)
+	for v := meetF; v >= 0; v = r.parF[v] {
+		buf = append(buf, v)
+	}
+	// Reverse the prefix in place (it was appended meetF→s).
+	for i, j := head, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	for v := meetB; v >= 0; v = r.parB[v] {
+		buf = append(buf, v)
+	}
+	var seconds, meters float64
+	for i := head; i+1 < len(buf); i++ {
+		e := g.EdgeBetween(buf[i], buf[i+1])
+		seconds += edgeCost(g, factors, e)
+		meters += g.length[e]
+	}
+	return buf, seconds, meters, true
+}

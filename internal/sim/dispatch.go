@@ -114,6 +114,7 @@ func (w *World) spawnArrivals(dt float64) {
 		f.cruiseTarget[s] = pl.cruiseTarget
 		f.cruiseUntil[s] = w.now + pl.cruiseDelta
 		f.resetPath(s)
+		f.resetRoute(s)
 		w.grids[pl.vt].Insert(s, pl.pos)
 		w.TotalSpawned++
 		w.markChanged(s)
@@ -273,12 +274,18 @@ func (w *World) commitEWT(sub *subPlan) float64 {
 	for i := 0; i < int(sub.ewtN); i++ {
 		c := sub.ewt[i]
 		if DriverState(f.state[c.slot]) == StateIdle {
+			if w.road != nil {
+				return w.roadEWTFrom(f.pos[c.slot], sub.pickup)
+			}
 			return ewtFromDist(c.dist, w.now)
 		}
 	}
 	if !sub.ewtAll {
 		w.knnBuf = w.grids[int(core.UberX)].KNearestInto(sub.pickup, 1, w.knnBuf)
 		if len(w.knnBuf) > 0 {
+			if w.road != nil {
+				return w.roadEWTFrom(f.pos[w.knnBuf[0].Slot], sub.pickup)
+			}
 			return ewtFromDist(w.knnBuf[0].Dist, w.now)
 		}
 	}
@@ -346,6 +353,20 @@ func (w *World) commitSub(sub *subPlan) {
 			price = f.priceFactor[slot]
 		}
 	default:
+		if w.road != nil {
+			// Centralized dispatch on streets: re-rank the straight-line
+			// top-k by congested road ETA (the radius cut stays
+			// straight-line, so the candidate set matches the euclidean
+			// mechanism's).
+			if cand, ok := w.roadPickCandidate(sub); ok {
+				slot = cand
+			}
+			price = 1
+			if vt.Surgeable() {
+				price = w.surgeWeight(pickup)
+			}
+			break
+		}
 		// Centralized dispatch: nearest idle car, if within range.
 		found := false
 		var fslot int32

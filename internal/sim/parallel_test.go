@@ -89,6 +89,19 @@ func worldHash(w *World) uint64 {
 		for _, p := range d.path {
 			f.pt(p)
 		}
+		// Road-route state (zero/-1 on euclidean worlds, hashed anyway).
+		f.int(int(w.fleet.routeHop[s]))
+		f.int(int(w.fleet.routeEdge[s]))
+		f.pt(w.fleet.routeGoal[s])
+		f.int(len(w.fleet.route[s]))
+		for _, v := range w.fleet.route[s] {
+			f.int(int(v))
+		}
+	}
+	if w.road != nil {
+		for _, v := range w.road.Cong.Factors() {
+			f.f64(v)
+		}
 	}
 	f.int(len(w.suspended))
 	for _, s := range w.suspended {

@@ -123,6 +123,17 @@ type CityProfile struct {
 	// with boundaries only near the south-west (UCSF) corner — which is
 	// exactly where the paper found the walking strategy to work.
 	SplitX, SplitY float64
+
+	// RoadNetwork switches the world to street-network movement: drivers
+	// cruise and drive along a deterministic synthetic street graph with
+	// congestion feedback instead of straight lines with a detour factor
+	// (see internal/road and sim/road.go). The network is derived from
+	// the city name, so every world of a city shares the same streets.
+	RoadNetwork bool
+	// RoadName overrides the name the street network derives from;
+	// derived profiles (TaxiCity) set it to the parent city so both
+	// services generate identical streets even when built standalone.
+	RoadName string
 }
 
 // Rush reports whether hour (0-23) falls in the paper's rush-hour
@@ -350,6 +361,30 @@ func (p *CityProfile) Scale(f float64) *CityProfile {
 	q := *p
 	q.PeakDrivers = int(math.Round(float64(p.PeakDrivers) * f))
 	q.PeakRequestsPerHour = p.PeakRequestsPerHour * f
+	return &q
+}
+
+// TaxiCity derives a flat-fare street-hail fleet from p: the same
+// geometry, hotspots, and diurnal curves, but every car is UberT, no
+// surge (multiplier pinned at 1), and road movement on — the second
+// service of the OpenStreetCab-style price-comparison scenario. share
+// scales its fleet and demand relative to p's (taxi fleets dwarfed
+// Uber's in 2015 Manhattan; pass >1 to reproduce that).
+func (p *CityProfile) TaxiCity(share float64) *CityProfile {
+	if share <= 0 {
+		share = 1
+	}
+	q := *p
+	q.Name = p.Name + "-taxi"
+	q.RoadName = p.Name
+	q.PeakDrivers = int(math.Round(float64(p.PeakDrivers) * share))
+	q.PeakRequestsPerHour = p.PeakRequestsPerHour * share
+	q.FleetShare = map[core.VehicleType]float64{core.UberT: 1}
+	q.DemandShare = map[core.VehicleType]float64{core.UberT: 1}
+	q.Surge = SurgeParams{MaxMultiplier: 1}
+	q.Elasticity = 0
+	q.SupplyBoost = 0
+	q.RoadNetwork = true
 	return &q
 }
 

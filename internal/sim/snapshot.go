@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/road"
 )
 
 // Snapshot is an immutable view of the world at the end of one tick,
@@ -38,6 +39,18 @@ type Snapshot struct {
 
 	areaIdx  *geo.AreaIndex
 	products [core.NumVehicleTypes]productCells
+
+	// road freezes the street network's congestion for road-mode worlds:
+	// the graph is immutable and shared, the factor table is a per-tick
+	// clone, so EWT and trip estimates served from the snapshot are
+	// unaffected by later congestion commits. Nil on euclidean worlds.
+	road *snapRoad
+}
+
+// snapRoad is the frozen road view of one snapshot.
+type snapRoad struct {
+	g       *road.Graph
+	factors []float64
 }
 
 // snapCar is one idle car frozen into a snapshot: the precomputed wire
@@ -82,7 +95,29 @@ func (s *Snapshot) EWT(vt core.VehicleType, pos geo.Point) float64 {
 	if len(near) == 0 {
 		return maxEWTSeconds
 	}
+	if s.road != nil {
+		rt := s.road.g.AcquireRouter()
+		t := roadEWT(s.road.g, rt, s.road.factors, near[0].car.pos, pos)
+		s.road.g.ReleaseRouter(rt)
+		return t
+	}
 	return ewtFromDist(near[0].dist, s.Now)
+}
+
+// TripEstimate returns the estimated street distance (meters) and
+// duration (seconds, excluding boarding time) of a pickup→dest trip as
+// the snapshot saw it: the congested road route on road-mode worlds, the
+// straight line with the Manhattan detour factor otherwise. Lock-free
+// and safe for unlimited concurrent use, like every snapshot query.
+func (s *Snapshot) TripEstimate(pickup, dest geo.Point) (meters, seconds float64) {
+	if s.road != nil {
+		rt := s.road.g.AcquireRouter()
+		meters, seconds = roadTripEstimate(s.road.g, rt, s.road.factors, pickup, dest)
+		s.road.g.ReleaseRouter(rt)
+		return meters, seconds
+	}
+	meters = geo.Dist(pickup, dest) * manhattanFactor
+	return meters, meters / StreetSpeed(s.Now)
 }
 
 // NearestCars returns up to k idle cars of the product nearest to pos as
@@ -434,6 +469,11 @@ func (w *World) Snapshot() *Snapshot {
 		Region:  w.profile.Region,
 		Proj:    w.proj,
 		areaIdx: w.areaIndex,
+	}
+	if w.road != nil {
+		// Fresh clone per snapshot: published snapshots stay immutable
+		// across later congestion commits.
+		snap.road = &snapRoad{g: w.road.Graph, factors: w.road.Cong.CloneFactors(nil)}
 	}
 	for vt := range snap.products {
 		pc := geom

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/road"
 )
 
 // Config configures a World.
@@ -33,6 +34,15 @@ type Config struct {
 	// per-(seed, tick, shard) RNG streams and commit through ordered
 	// per-shard buffers (see parallel.go).
 	Workers int
+	// Road selects street-network movement (see road.go). Nil with
+	// Profile.RoadNetwork set builds the city's deterministic network;
+	// nil otherwise keeps euclidean movement. A non-nil Road may be
+	// shared between worlds (two services on the same streets).
+	Road *road.Network
+	// RoadShared suppresses the world's own congestion Commit: the
+	// harness owning the shared network commits once per tick after
+	// every world has tallied its loads.
+	RoadShared bool
 }
 
 // PricingMode selects how prices form.
@@ -172,6 +182,13 @@ type World struct {
 	spawnPlans []spawnPlan
 	knnBuf     []geo.SlotNeighbor
 
+	// road is the street network when road movement is active (see
+	// road.go): roadRouter serves the serial phases (dispatch, fares,
+	// EWT), roadRouters one router per movement shard.
+	road        *road.Network
+	roadRouter  *road.Router
+	roadRouters []*road.Router
+
 	// snap is the incremental snapshot builder (see snapshot.go).
 	snap snapBuilder
 
@@ -287,6 +304,15 @@ func NewWorld(cfg Config) *World {
 		cfg.TickSeconds = 5
 	}
 	p := cfg.Profile
+	if cfg.Road == nil && p.RoadNetwork {
+		// The network is keyed by city name only, never the sim seed:
+		// every world of a city drives the same streets.
+		name := p.Name
+		if p.RoadName != "" {
+			name = p.RoadName
+		}
+		cfg.Road = road.ForProfile(name, p.Region)
+	}
 	w := &World{
 		cfg:     cfg,
 		profile: p,
@@ -299,6 +325,10 @@ func NewWorld(cfg Config) *World {
 	w.workers = cfg.Workers
 	if w.workers <= 0 {
 		w.workers = runtime.GOMAXPROCS(0)
+	}
+	w.road = cfg.Road
+	if w.road != nil {
+		w.roadRouter = road.NewRouter(w.road.Graph)
 	}
 	// The area raster is 4× finer than the driver grid: every driver pays
 	// an area lookup per tick in the stats pass, and only raster cells a
@@ -518,6 +548,7 @@ func (w *World) addDriver(vt core.VehicleType, pos geo.Point) int32 {
 	f.cruiseTarget[s] = w.samplePlace()
 	f.cruiseUntil[s] = w.now + int64(120+w.rng.Intn(600))
 	f.resetPath(s)
+	f.resetRoute(s)
 	w.grids[int(vt)].Insert(s, pos)
 	w.markChanged(s)
 	return s
@@ -584,6 +615,7 @@ func (w *World) Step() {
 		phaseStart = w.observePhase(phaseDispatch, phaseStart)
 	}
 	pprof.Do(ctx, phaseLabelSets[phaseStats], func(context.Context) {
+		w.roadTally()
 		w.accumulateStats()
 		w.expireShocks()
 	})
@@ -727,6 +759,7 @@ func (w *World) moveDrivers(dt float64) {
 	for len(w.moveOps) < shards {
 		w.moveOps = append(w.moveOps, shardOps{})
 	}
+	w.ensureRoadRouters(shards)
 	if w.workers <= 1 || shards <= 1 {
 		for s := 0; s < shards; s++ {
 			w.moveShard(s, dt, speed)
@@ -769,19 +802,23 @@ func (w *World) moveShard(s int, dt, speed float64) {
 	o := &w.moveOps[s]
 	o.reset()
 	rng := w.pooledShardRand(s)
+	var rt *road.Router
+	if w.road != nil {
+		rt = w.roadRouters[s]
+	}
 	lo, hi := shardBounds(s, w.fleet.high)
 	live := w.fleet.live
 	for i := lo; i < hi; i++ {
 		if !live[i] {
 			continue
 		}
-		w.moveOne(int32(i), dt, speed, rng, o)
+		w.moveOne(int32(i), dt, speed, rng, rt, o)
 	}
 }
 
 // moveOne advances a single driver, queueing shared-state mutations in o.
 // It may only write the slot's own columns; everything else is deferred.
-func (w *World) moveOne(s int32, dt, speed float64, rng *rand.Rand, o *shardOps) {
+func (w *World) moveOne(s int32, dt, speed float64, rng *rand.Rand, rt *road.Router, o *shardOps) {
 	f := &w.fleet
 	isPool := core.VehicleType(f.typ[s]) == core.UberPOOL
 	wasJoin := isPool && DriverState(f.state[s]) == StateOnTrip &&
@@ -792,18 +829,23 @@ func (w *World) moveOne(s int32, dt, speed float64, rng *rand.Rand, o *shardOps)
 			o.removals = append(o.removals, s)
 			return // departed drivers don't extend their path
 		}
-		moved := w.cruise(s, dt, rng, o)
+		var moved bool
+		if w.road != nil {
+			moved = w.roadCruise(s, dt, rng, rt, o)
+		} else {
+			moved = w.cruise(s, dt, rng, o)
+		}
 		if f.record(s) || moved {
 			o.changed = append(o.changed, s)
 		}
 		return
 	case StateEnRoute:
-		if f.stepToward(s, f.pickup[s], speed*dt/manhattanFactor) {
+		if w.advance(s, f.pickup[s], dt, speed, rt) {
 			// Passenger boards; trip begins.
 			f.state[s] = uint8(StateOnTrip)
 		}
 	case StateOnTrip:
-		if f.stepToward(s, f.dest[s], speed*dt/manhattanFactor) {
+		if w.advance(s, f.dest[s], dt, speed, rt) {
 			if f.destDrop[s] {
 				o.dropoffs++
 				if f.poolRiders[s] > 0 {
@@ -882,8 +924,16 @@ func (w *World) cruise(s int32, dt float64, rng *rand.Rand, o *shardOps) bool {
 // settleFare charges the passenger the upfront fare for the trip estimate
 // and splits it between the driver (80%) and the platform (20%).
 func (w *World) settleFare(slot int32, pickup, dest geo.Point, multiplier float64, area int) {
-	meters := geo.Dist(pickup, dest) * manhattanFactor
-	seconds := meters/StreetSpeed(w.now) + tripStopSeconds
+	var meters, seconds float64
+	if w.road != nil {
+		// Upfront pricing on the actual street route under current
+		// congestion, not the flat detour factor.
+		meters, seconds = roadTripEstimate(w.road.Graph, w.roadRouter, w.road.Cong.Factors(), pickup, dest)
+		seconds += tripStopSeconds
+	} else {
+		meters = geo.Dist(pickup, dest) * manhattanFactor
+		seconds = meters/StreetSpeed(w.now) + tripStopSeconds
+	}
 	fare := w.fares[core.VehicleType(w.fleet.typ[slot])].Fare(meters, seconds, multiplier)
 	w.FareVolume += fare
 	w.CommissionUSD += fare * CommissionRate
@@ -995,6 +1045,9 @@ func (w *World) EWT(vt core.VehicleType, pos geo.Point) float64 {
 	w.knnBuf = w.grids[int(vt)].KNearestInto(pos, 1, w.knnBuf)
 	if len(w.knnBuf) == 0 {
 		return maxEWTSeconds
+	}
+	if w.road != nil {
+		return w.roadEWTFrom(w.fleet.pos[w.knnBuf[0].Slot], pos)
 	}
 	return ewtFromDist(w.knnBuf[0].Dist, w.now)
 }

@@ -1,0 +1,147 @@
+// Price comparison across ride services — the OpenStreetCab scenario the
+// paper's §6 closes on: once two services expose price and time APIs over
+// the same streets, a client can query both and book the cheaper one.
+// PriceComparison drives any number of core.Service backends (an Uber
+// world, a taxi replayer, a second simulated fleet) through their public
+// estimate endpoints, exactly as a comparison app would.
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// ServiceEntry is one backend the comparison client queries.
+type ServiceEntry struct {
+	Name     string
+	Svc      core.Service
+	ClientID string
+	// Product selects which of the backend's products to quote.
+	Product core.VehicleType
+}
+
+// Quote is one service's answer for a pickup location.
+type Quote struct {
+	Service    string
+	Product    string
+	USD        float64 // midpoint of the low/high estimate band
+	Surge      float64
+	EWTSeconds float64
+}
+
+// Comparison is the outcome of one query round: all quotes plus the
+// winner indices (-1 when no service answered).
+type Comparison struct {
+	Quotes   []Quote
+	Cheapest int // lowest USD; ties go to the earlier entry
+	Fastest  int // lowest EWT; ties go to the earlier entry
+}
+
+// CheapestQuote returns the winning quote, or nil when none.
+func (c *Comparison) CheapestQuote() *Quote {
+	if c.Cheapest < 0 {
+		return nil
+	}
+	return &c.Quotes[c.Cheapest]
+}
+
+// Savings returns how much the cheapest quote undercuts the next-best
+// one (0 with fewer than two quotes).
+func (c *Comparison) Savings() float64 {
+	if c.Cheapest < 0 || len(c.Quotes) < 2 {
+		return 0
+	}
+	best := c.Quotes[c.Cheapest].USD
+	runnerUp := 0.0
+	seen := false
+	for i, q := range c.Quotes {
+		if i == c.Cheapest {
+			continue
+		}
+		if !seen || q.USD < runnerUp {
+			runnerUp, seen = q.USD, true
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return runnerUp - best
+}
+
+// PriceComparison queries every registered service for the same pickup.
+type PriceComparison struct {
+	Services []ServiceEntry
+}
+
+// Compare fetches price and time estimates from every service at loc.
+// A service that errors or does not quote the requested product is
+// skipped (comparison shopping degrades, it doesn't fail); an error is
+// returned only when no service produced a quote.
+func (pc *PriceComparison) Compare(loc geo.LatLng) (*Comparison, error) {
+	c := &Comparison{Cheapest: -1, Fastest: -1}
+	var firstErr error
+	for _, e := range pc.Services {
+		q, err := quoteOne(e, loc)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		c.Quotes = append(c.Quotes, q)
+		i := len(c.Quotes) - 1
+		if c.Cheapest < 0 || q.USD < c.Quotes[c.Cheapest].USD {
+			c.Cheapest = i
+		}
+		if c.Fastest < 0 || q.EWTSeconds < c.Quotes[c.Fastest].EWTSeconds {
+			c.Fastest = i
+		}
+	}
+	if len(c.Quotes) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("no service quoted the request")
+	}
+	return c, nil
+}
+
+// quoteOne runs one service's price + time round trip.
+func quoteOne(e ServiceEntry, loc geo.LatLng) (Quote, error) {
+	product := e.Product.String()
+	prices, err := e.Svc.EstimatePrice(e.ClientID, loc)
+	if err != nil {
+		return Quote{}, fmt.Errorf("%s: price: %w", e.Name, err)
+	}
+	q := Quote{Service: e.Name, Product: product}
+	found := false
+	for _, p := range prices {
+		if p.TypeName == product {
+			q.USD = (p.LowUSD + p.HighUSD) / 2
+			q.Surge = p.Surge
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Quote{}, fmt.Errorf("%s: no %s price quote", e.Name, product)
+	}
+	times, err := e.Svc.EstimateTime(e.ClientID, loc)
+	if err != nil {
+		return Quote{}, fmt.Errorf("%s: time: %w", e.Name, err)
+	}
+	found = false
+	for _, t := range times {
+		if t.TypeName == product {
+			q.EWTSeconds = t.EWTSeconds
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Quote{}, fmt.Errorf("%s: no %s time quote", e.Name, product)
+	}
+	return q, nil
+}

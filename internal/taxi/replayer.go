@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/road"
 	"repro/internal/stats"
 )
 
@@ -26,6 +27,13 @@ type Replayer struct {
 	segIdx []int    // per session: current segment cursor
 	pubID  []string // per session: public ID of the current idle period
 	inGrid []bool
+
+	// Snap-to-road playback (nil/empty unless EnableRoads was called).
+	roadG     *road.Graph
+	roadRt    *road.Router
+	roadSeg   []int      // per session: segment index the cached path is for
+	roadPaths []roadPath // per session: cached route polyline
+	pathBuf   []int32
 }
 
 var _ core.Service = (*Replayer)(nil)
@@ -91,7 +99,7 @@ func (r *Replayer) sync() {
 		if r.pubID[s] == "" {
 			r.pubID[s] = fmt.Sprintf("t%08x%08x", r.rng.Uint32(), r.rng.Uint32())
 		}
-		pos := segs[i].Pos(r.now)
+		pos := r.segPos(s, i, segs[i])
 		if r.inGrid[s] {
 			r.grid.Move(id, pos)
 		} else {

@@ -1,0 +1,129 @@
+package taxi
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/road"
+)
+
+// Snap-to-road playback. The straight-line replayer absorbs street
+// detours into an effective point-to-point speed (taxiSpeed); with a
+// street network attached, each visible segment instead plays back along
+// its free-flow route. The segment's recorded duration is authoritative —
+// the polyline's free-flow leg times only set the *relative* pacing, and
+// the whole route is rescaled so the taxi leaves From at Start and
+// reaches To exactly at End. Per-leg speed is therefore proportional to
+// the edge's free-flow speed, scaled by T_freeflow/Duration, which keeps
+// replayed trip durations equal to trace durations while positions hug
+// the streets. GroundTruth stays straight-line: it defines what the
+// probes are validated against and must not depend on the movement model.
+
+// roadPath is one snapped segment: a polyline through street nodes with
+// cumulative free-flow seconds at each vertex (cum[0] = 0). Off-road curb
+// legs (From to the entry node, exit node to To) weigh in at taxiSpeed.
+type roadPath struct {
+	pts []geo.Point
+	cum []float64
+}
+
+// EnableRoads switches visible-segment playback to snap-to-road along g.
+// Must be called before the replay is stepped past interesting times;
+// it re-syncs current positions immediately.
+func (r *Replayer) EnableRoads(g *road.Graph) {
+	r.roadG = g
+	r.roadRt = road.NewRouter(g)
+	r.roadSeg = make([]int, len(r.trace.Sessions))
+	for i := range r.roadSeg {
+		r.roadSeg[i] = -1
+	}
+	r.roadPaths = make([]roadPath, len(r.trace.Sessions))
+	r.sync()
+}
+
+// segPos returns session s's position within its current segment,
+// snapped to the road network when one is attached.
+func (r *Replayer) segPos(s, i int, seg Segment) geo.Point {
+	if r.roadG == nil || !seg.Visible {
+		return seg.Pos(r.now)
+	}
+	return r.snapPos(s, i, seg, r.now)
+}
+
+// snapPos evaluates the snapped position at time t, building (and
+// caching) the segment's route polyline on first use. One path is cached
+// per session — segments play back in order, so the cache is a cursor,
+// not a map.
+func (r *Replayer) snapPos(s, i int, seg Segment, t int64) geo.Point {
+	p := &r.roadPaths[s]
+	if r.roadSeg[s] != i {
+		r.buildPath(p, seg)
+		r.roadSeg[s] = i
+	}
+	return p.pos(seg, t)
+}
+
+// buildPath routes seg.From → seg.To on free flow and fills p with the
+// polyline and cumulative leg times. When routing fails (degenerate or
+// disconnected endpoints) the path collapses to the straight line, which
+// reproduces Segment.Pos exactly.
+func (r *Replayer) buildPath(p *roadPath, seg Segment) {
+	p.pts = append(p.pts[:0], seg.From)
+	p.cum = append(p.cum[:0], 0)
+	g := r.roadG
+	a, b := g.NearestNode(seg.From), g.NearestNode(seg.To)
+	if a >= 0 && b >= 0 && a != b {
+		if path, _, _, ok := r.roadRt.RoutePath(a, b, nil, r.pathBuf); ok {
+			// Curb leg From→entry node at the replay speed, then
+			// node-to-node legs weighted by edge free-flow time.
+			p.push(g.NodePos(path[0]), geo.Dist(seg.From, g.NodePos(path[0]))/taxiSpeed)
+			for k := 1; k < len(path); k++ {
+				dt := 0.0
+				if e := g.EdgeBetween(path[k-1], path[k]); e >= 0 {
+					dt = g.EdgeBase(e)
+				} else {
+					dt = geo.Dist(g.NodePos(path[k-1]), g.NodePos(path[k])) / taxiSpeed
+				}
+				p.push(g.NodePos(path[k]), dt)
+			}
+			r.pathBuf = path[:0]
+		}
+	}
+	// Exit curb leg (or, with no route, the whole straight-line fallback).
+	p.push(seg.To, geo.Dist(p.pts[len(p.pts)-1], seg.To)/taxiSpeed)
+}
+
+// push appends a vertex with a provisional cumulative time.
+func (p *roadPath) push(pt geo.Point, dt float64) {
+	p.pts = append(p.pts, pt)
+	p.cum = append(p.cum, p.cum[len(p.cum)-1]+dt)
+}
+
+// pos maps the segment's time fraction through the time-weighted
+// polyline. Endpoints are exact: t ≤ Start pins From, t ≥ End pins To.
+func (p *roadPath) pos(seg Segment, t int64) geo.Point {
+	last := len(p.pts) - 1
+	total := p.cum[last]
+	if t <= seg.Start || seg.End <= seg.Start || total <= 0 {
+		return p.pts[0]
+	}
+	if t >= seg.End {
+		return p.pts[last]
+	}
+	f := float64(t-seg.Start) / float64(seg.End-seg.Start)
+	target := f * total
+	k := sort.SearchFloat64s(p.cum, target)
+	if k == 0 {
+		k = 1
+	}
+	if k > last {
+		k = last
+	}
+	legT := p.cum[k] - p.cum[k-1]
+	lf := 1.0
+	if legT > 0 {
+		lf = (target - p.cum[k-1]) / legT
+	}
+	a, b := p.pts[k-1], p.pts[k]
+	return a.Add(b.Sub(a).Scale(lf))
+}

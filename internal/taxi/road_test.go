@@ -1,0 +1,88 @@
+package taxi
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/road"
+)
+
+func snapFixture() (*Trace, *road.Graph) {
+	tr := GenerateTrace(GenConfig{Seed: 11, Days: 1, Taxis: 120})
+	net := road.ForProfile("taxi-snap-test", tr.Region)
+	return tr, net.Graph
+}
+
+// TestSnapEndpointsExact: snapping must not move where a taxi appears or
+// disappears — only how it travels in between. Trace durations are
+// likewise untouched, so supply/demand ground truth is identical.
+func TestSnapEndpointsExact(t *testing.T) {
+	tr, g := snapFixture()
+	r := NewReplayer(tr, 1)
+	r.EnableRoads(g)
+	checked := 0
+	for s := range tr.Sessions {
+		for i, seg := range tr.Sessions[s].Segments {
+			if !seg.Visible || checked >= 200 {
+				continue
+			}
+			if got := r.snapPos(s, i, seg, seg.Start); got != seg.From {
+				t.Fatalf("session %d seg %d: start pos %v, want %v", s, i, got, seg.From)
+			}
+			if got := r.snapPos(s, i, seg, seg.End); got != seg.To {
+				t.Fatalf("session %d seg %d: end pos %v, want %v", s, i, got, seg.To)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no visible segments checked")
+	}
+}
+
+// TestSnapFollowsStreets: mid-segment positions deviate from the straight
+// chord (the whole point of snapping) while staying inside the region.
+func TestSnapFollowsStreets(t *testing.T) {
+	tr, g := snapFixture()
+	r := NewReplayer(tr, 1)
+	r.EnableRoads(g)
+	deviated := false
+	for s := range tr.Sessions {
+		for i, seg := range tr.Sessions[s].Segments {
+			if !seg.Visible || geo.Dist(seg.From, seg.To) < 500 {
+				continue
+			}
+			mid := (seg.Start + seg.End) / 2
+			snapped := r.snapPos(s, i, seg, mid)
+			if !tr.Region.Contains(snapped) {
+				t.Fatalf("snapped position %v left the region", snapped)
+			}
+			if geo.Dist(snapped, seg.Pos(mid)) > 40 {
+				deviated = true
+			}
+		}
+	}
+	if !deviated {
+		t.Fatal("no segment ever deviated from its straight chord: snapping inert")
+	}
+}
+
+// TestSnapVisibilityUnchanged: the road mode changes positions, never
+// timing — a snapped and a straight-line replay of the same trace show
+// the same taxi count at every tick.
+func TestSnapVisibilityUnchanged(t *testing.T) {
+	tr, g := snapFixture()
+	straight := NewReplayer(tr, 1)
+	snapped := NewReplayer(tr, 1)
+	snapped.EnableRoads(g)
+	for tick := 0; tick < 720; tick++ { // one replayed hour
+		straight.Step()
+		snapped.Step()
+		if a, b := straight.VisibleTaxis(), snapped.VisibleTaxis(); a != b {
+			t.Fatalf("tick %d: straight sees %d taxis, snapped %d", tick, a, b)
+		}
+	}
+	if straight.VisibleTaxis() == 0 {
+		t.Fatal("replay had no visible taxis to compare")
+	}
+}
