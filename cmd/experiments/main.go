@@ -6,6 +6,8 @@
 //
 //	experiments -preamble -days 1 -seed 42 -out EXPERIMENTS.md
 //	experiments -hours 8            # quick pass, no preamble
+//	experiments -engine additive -hours 12    # audit one pricing regime
+//	experiments -compare-engines -hours 12    # audit all regimes side by side
 package main
 
 import (
@@ -13,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/surge"
 )
 
 func main() {
@@ -27,8 +32,21 @@ func main() {
 		workers  = flag.Int("sim-workers", 0, "parallel tick workers per city simulation (0 = GOMAXPROCS; results are identical for any value)")
 		scale    = flag.Float64("fleet-scale", 1, "multiply each city's driver and request targets (load testing; 1 = calibrated size)")
 		opencab  = flag.Int("openstreetcab", 0, "run only the two-service price-comparison scenario for this many rush-hour hours (shared road network)")
+		engine   = flag.String("engine", "", "audit one pricing engine with the 2015 methodology ("+strings.Join(surge.EngineNames(), ", ")+")")
+		compare  = flag.Bool("compare-engines", false, "audit every pricing engine and print the side-by-side distinguishability report")
 	)
 	flag.Parse()
+
+	if *engine != "" {
+		ok := false
+		for _, n := range surge.EngineNames() {
+			ok = ok || n == *engine
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -engine %q (have %s)\n", *engine, strings.Join(surge.EngineNames(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
@@ -45,6 +63,22 @@ func main() {
 	if *opencab > 0 {
 		opts := experiments.OpenStreetCabOptions{Seed: *seed, Hours: *opencab, Workers: *workers}
 		experiments.WriteOpenStreetCab(w, opts, experiments.RunOpenStreetCab(opts))
+		return
+	}
+	if *compare || *engine != "" {
+		opts := experiments.Options{
+			Seed:       *seed,
+			Days:       *days,
+			Hours:      *hours,
+			Jitter:     true,
+			Workers:    *workers,
+			FleetScale: *scale,
+		}
+		if *compare {
+			experiments.WriteEngineComparison(w, opts, experiments.RunEngineComparison(sim.Manhattan(), opts))
+		} else {
+			experiments.WriteEngineAudit(w, experiments.AuditEngine(sim.Manhattan(), *engine, opts))
+		}
 		return
 	}
 	if *preamble {

@@ -46,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +54,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/surge"
 )
 
 func main() {
@@ -66,6 +68,7 @@ func main() {
 		workers = flag.Int("sim-workers", 0, "parallel tick workers for the simulation (0 = GOMAXPROCS; results are identical for any value)")
 		scale   = flag.Float64("fleet-scale", 1, "multiply the city's driver and request targets (load testing; 1 = calibrated size)")
 		roads   = flag.Bool("road", false, "drive on the synthetic street network (A* routing, congestion feedback) instead of straight lines")
+		engine  = flag.String("engine", "mult2015", "pricing engine: "+strings.Join(surge.EngineNames(), ", "))
 
 		chaosSeed     = flag.Int64("chaos-seed", 1, "fault-injection seed (same seed replays the same fault sequence)")
 		chaosError    = flag.Float64("chaos-error", 0, "probability of answering a request with an injected 500")
@@ -112,7 +115,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := api.NewBackendWorkers(profile, *seed, *jitter, *workers)
+	svc, err := api.NewBackendEngine(profile, *seed, *jitter, *workers, *engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	reg := obs.NewRegistry()
 	svc.Instrument(reg)
 	tracer := obs.NewTracer(4096)
@@ -208,8 +215,8 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
-	log.Printf("uberd: serving %s on %s (seed %d, jitter %v, %gx speedup, sim t=%d)",
-		profile.Name, *addr, *seed, *jitter, *speedup, svc.Now())
+	log.Printf("uberd: serving %s on %s (engine %s, seed %d, jitter %v, %gx speedup, sim t=%d)",
+		profile.Name, *addr, svc.Engine().Name(), *seed, *jitter, *speedup, svc.Now())
 
 	select {
 	case err := <-errCh:

@@ -63,7 +63,7 @@ type queryState struct {
 type Service struct {
 	mu     sync.Mutex // serializes Step and the world/engine writers
 	world  *sim.World
-	engine *surge.Engine
+	engine surge.Pricer
 	fares  map[core.VehicleType]core.FareSchedule
 
 	state    atomic.Pointer[queryState]
@@ -91,9 +91,11 @@ type Service struct {
 
 var _ core.Service = (*Service)(nil)
 
-// NewService wraps a world/engine pair. Accounts must be registered before
-// they can query (the paper created 43 credit-card-backed accounts).
-func NewService(w *sim.World, e *surge.Engine) *Service {
+// NewService wraps a world/engine pair — any surge.Pricer works; the
+// query path reads only the engine's published View. Accounts must be
+// registered before they can query (the paper created 43
+// credit-card-backed accounts).
+func NewService(w *sim.World, e surge.Pricer) *Service {
 	s := &Service{
 		world:  w,
 		engine: e,
@@ -179,8 +181,8 @@ func (s *Service) EpochPublished() bool {
 // and experiments. Production callers use only core.Service.
 func (s *Service) World() *sim.World { return s.world }
 
-// Engine exposes the surge engine for ground-truth validation.
-func (s *Service) Engine() *surge.Engine { return s.engine }
+// Engine exposes the pricing engine for ground-truth validation.
+func (s *Service) Engine() surge.Pricer { return s.engine }
 
 // auth validates the account without rate limiting (pingClient is not
 // rate limited: the app itself pings every 5 seconds, §3.3).
@@ -346,4 +348,16 @@ func NewBackendWorkers(profile *sim.CityProfile, seed int64, jitter bool, worker
 	w := sim.NewWorld(sim.Config{Profile: profile, Seed: seed, Workers: workers})
 	e := surge.New(w, surge.Config{Params: profile.Surge, Seed: seed, Jitter: jitter})
 	return NewService(w, e)
+}
+
+// NewBackendEngine is NewBackendWorkers with a selectable pricing engine
+// ("", "mult2015", "additive", "withholding"); an unknown engine name is
+// an error for the caller's flag handling to surface.
+func NewBackendEngine(profile *sim.CityProfile, seed int64, jitter bool, workers int, engine string) (*Service, error) {
+	w := sim.NewWorld(sim.Config{Profile: profile, Seed: seed, Workers: workers})
+	e, err := surge.NewPricer(w, engine, surge.Config{Params: profile.Surge, Seed: seed, Jitter: jitter})
+	if err != nil {
+		return nil, err
+	}
+	return NewService(w, e), nil
 }

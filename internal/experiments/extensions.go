@@ -257,7 +257,7 @@ type ExtSmoothingResult struct {
 func ExtSmoothing(profile *sim.CityProfile, seed int64, hours int) ExtSmoothingResult {
 	run := func(smoothing float64) (vol float64, ep int, frac float64) {
 		w := sim.NewWorld(sim.Config{Profile: profile, Seed: seed})
-		e := surge.New(w, surge.Config{Params: profile.Surge, Seed: seed, Smoothing: smoothing})
+		e := surge.New(w, surge.Config{Params: profile.Surge, Seed: seed, Smoothing: smoothing, KeepHistory: true})
 		r := &surge.Runner{World: w, Engine: e}
 		r.RunUntil(int64(hours) * 3600)
 		surged, total := 0, 0

@@ -44,8 +44,25 @@ type FleetResult struct {
 type OpenStreetCabResult struct {
 	Uber, Taxi FleetResult
 	Queries    int     // comparison rounds with both services quoting
+	Ties       int     // rounds both services quoted the same price
 	MeanSaving float64 // mean USD saved by booking the cheaper quote
 	PeakFactor float64 // worst congestion factor reached on any edge
+}
+
+// scoreRound credits one comparison round: an exact price tie goes to
+// the Ties column (the first-listed service didn't actually win it),
+// otherwise the cheaper service's Wins.
+func (res *OpenStreetCabResult) scoreRound(c *strategy.Comparison) {
+	if c.CheapestTied() {
+		res.Ties++
+		return
+	}
+	switch c.CheapestQuote().Service {
+	case "uber":
+		res.Uber.Wins++
+	case "taxi":
+		res.Taxi.Wins++
+	}
 }
 
 // RunOpenStreetCab executes the scenario: shared streets, two fleets,
@@ -90,6 +107,7 @@ func RunOpenStreetCab(opts OpenStreetCabOptions) *OpenStreetCabResult {
 		Taxi: FleetResult{Name: "taxi"},
 	}
 	var savingSum float64
+	res.PeakFactor = 1
 	end := int64(start + opts.Hours*3600)
 	for uberSvc.Now() < end {
 		uberSvc.Step()
@@ -97,6 +115,14 @@ func RunOpenStreetCab(opts OpenStreetCabOptions) *OpenStreetCabResult {
 		// Both worlds tallied their edge loads; one commit folds the
 		// combined load into the next tick's congestion factors.
 		net.Cong.Commit()
+		// Track the peak congestion as it happens: factors decay toward 1
+		// every commit, so the end-of-run table remembers nothing about a
+		// rush-hour spike followed by a quiet tail.
+		for _, f := range net.Cong.Factors() {
+			if f > res.PeakFactor {
+				res.PeakFactor = f
+			}
+		}
 		if uberSvc.Now()%300 != 0 {
 			continue
 		}
@@ -107,12 +133,7 @@ func RunOpenStreetCab(opts OpenStreetCabOptions) *OpenStreetCabResult {
 			}
 			res.Queries++
 			savingSum += c.Savings()
-			switch c.CheapestQuote().Service {
-			case "uber":
-				res.Uber.Wins++
-			case "taxi":
-				res.Taxi.Wins++
-			}
+			res.scoreRound(c)
 		}
 	}
 	if res.Queries > 0 {
@@ -120,12 +141,6 @@ func RunOpenStreetCab(opts OpenStreetCabOptions) *OpenStreetCabResult {
 	}
 	res.Uber.Pickups, res.Uber.Dropoffs, res.Uber.FareVolume = uberW.TotalPickups, uberW.TotalDropoffs, uberW.FareVolume
 	res.Taxi.Pickups, res.Taxi.Dropoffs, res.Taxi.FareVolume = taxiW.TotalPickups, taxiW.TotalDropoffs, taxiW.FareVolume
-	res.PeakFactor = 1
-	for _, f := range net.Cong.Factors() {
-		if f > res.PeakFactor {
-			res.PeakFactor = f
-		}
-	}
 	return res
 }
 
@@ -141,6 +156,6 @@ func WriteOpenStreetCab(w io.Writer, opts OpenStreetCabOptions, res *OpenStreetC
 		fmt.Fprintf(w, "%s fleet: pickups=%d dropoffs=%d fares=$%.2f wins=%d\n",
 			fl.Name, fl.Pickups, fl.Dropoffs, fl.FareVolume, fl.Wins)
 	}
-	fmt.Fprintf(w, "comparison: queries=%d mean-saving=$%.2f peak-congestion=%.2fx\n",
-		res.Queries, res.MeanSaving, res.PeakFactor)
+	fmt.Fprintf(w, "comparison: queries=%d ties=%d mean-saving=$%.2f peak-congestion=%.2fx\n",
+		res.Queries, res.Ties, res.MeanSaving, res.PeakFactor)
 }

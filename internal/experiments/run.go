@@ -45,6 +45,10 @@ type Options struct {
 	// FleetScale multiplies each profile's driver and request targets
 	// (see sim.CityProfile.Scale); 0 or 1 runs the calibrated size.
 	FleetScale float64
+	// Engine selects the pricing engine ("" or "mult2015" is the paper's
+	// multiplicative surge; "additive", "withholding" are the alternative
+	// regimes the audit methodology is run against).
+	Engine string
 }
 
 // StrategyStats aggregates Figs 23/24 inputs for one client position.
@@ -178,7 +182,10 @@ func RunCity(profile *sim.CityProfile, opts Options) *CityRun {
 		end = int64(opts.Hours) * 3600
 	}
 
-	svc := api.NewBackendWorkers(profile, opts.Seed, opts.Jitter, opts.Workers)
+	svc, err := api.NewBackendEngine(profile, opts.Seed, opts.Jitter, opts.Workers, opts.Engine)
+	if err != nil {
+		panic(err) // unknown engine names are caught at flag-parse time
+	}
 	pts := client.GridLayout(profile.MeasureRect, profile.ClientSpacing, client.NumClients)
 	camp := client.NewCampaign(svc, svc.World().Projection(), pts)
 	camp.RegisterAll(svc)

@@ -435,7 +435,7 @@ func (w *World) commitSub(sub *subPlan) {
 	w.priceSum += price
 	w.priceSumSq += price * price
 	w.priceN++
-	w.settleFare(slot, pickup, sub.dest, price, area)
+	w.settleFare(slot, pickup, sub.dest, price, area, w.cfg.Pricing != PricingDriverSet && vt.Surgeable())
 	if area >= 0 {
 		w.areaStats[area].Pickups++
 	}
@@ -501,7 +501,7 @@ func (w *World) applyPoolJoin(s int32, pickup, joinDest geo.Point, area int) {
 	w.priceSum++ // pool seats ride at multiplier 1
 	w.priceSumSq++
 	w.priceN++
-	w.settleFare(s, pickup, joinDest, 1, area)
+	w.settleFare(s, pickup, joinDest, 1, area, false)
 	if area >= 0 {
 		w.areaStats[area].Pickups++
 	}

@@ -243,9 +243,12 @@ func (w *World) roadPickCandidate(sub *subPlan) (int32, bool) {
 		n++
 		consider(c.slot, c.dist)
 	}
-	if n == 0 && !sub.candAll {
-		// Phase-start list exhausted by earlier bookings this tick: re-query
-		// the live grid, like the euclidean fallback.
+	if best < 0 && !sub.candAll {
+		// No in-radius candidate survived from the phase-start list — either
+		// earlier bookings this tick took them all, or the only idle entries
+		// left sit beyond the dispatch radius. Re-query the live grid, like
+		// the euclidean fallback. (Gating on n == 0 would skip the re-query
+		// whenever an out-of-radius idle candidate inflated the count.)
 		w.knnBuf = w.grids[sub.vt].KNearestInto(sub.pickup, roadRefineK, w.knnBuf)
 		for _, nbr := range w.knnBuf {
 			consider(nbr.Slot, nbr.Dist)

@@ -128,6 +128,8 @@ type World struct {
 	areaStats  []WindowStats
 	surgeOf    func(area int) float64 // provided by the surge engine
 	surgeCache []float64              // per-area multiplier, refreshed each tick
+	pipOf      func(area int) float64 // additive USD surcharge, nil unless an additive engine installs it
+	pipCache   []float64              // per-area pip, refreshed each tick when pipOf is set
 	fleetCDF   []float64              // cumulative fleet shares
 	demandCDF  []float64              // cumulative demand shares
 	hotspotCDF []float64
@@ -143,6 +145,10 @@ type World struct {
 	// together to starve supply, then return once surge rises).
 	suspended []suspendedDriver
 
+	// withhold, when armed, makes drivers strategically idle out below a
+	// personal surge threshold (see withholding.go).
+	withhold WithholdingConfig
+
 	// lifetime counters (ground truth for tests and validation).
 	// Spawned/Offline count organic session starts and deaths only;
 	// coordinated-logoff suspension cycles (ForceOffline → return) are
@@ -152,6 +158,7 @@ type World struct {
 	TotalOffline   int64
 	TotalSuspended int64
 	TotalResumed   int64
+	TotalWithheld  int64
 	TotalPickups   int64
 	TotalDropoffs  int64
 	TotalPricedOut int64
@@ -424,10 +431,20 @@ func (w *World) SetSurgeProvider(f func(area int) float64) {
 	}
 }
 
+// SetPipProvider registers the function used to look up the additive USD
+// surcharge for an area; an additive pricing engine installs itself here.
+// When set, settleFare prices surgeable trips as base + pip (the driver
+// keeping the whole pip) instead of scaling by the multiplier.
+func (w *World) SetPipProvider(f func(area int) float64) {
+	w.pipOf = f
+}
+
 // refreshSurgeCache samples the surge provider once per area per tick.
 // The multipliers are interval-quantized by the engine, so within one
 // tick the cached value is exact — and the parallel spawn/dispatch
 // precompute can read it without re-entering the provider concurrently.
+// The pip cache refreshes on the same schedule when an additive engine
+// is installed.
 func (w *World) refreshSurgeCache() {
 	if cap(w.surgeCache) < len(w.areas) {
 		w.surgeCache = make([]float64, len(w.areas))
@@ -435,6 +452,16 @@ func (w *World) refreshSurgeCache() {
 	w.surgeCache = w.surgeCache[:len(w.areas)]
 	for i := range w.surgeCache {
 		w.surgeCache[i] = w.surgeOf(i)
+	}
+	if w.pipOf == nil {
+		return
+	}
+	if cap(w.pipCache) < len(w.areas) {
+		w.pipCache = make([]float64, len(w.areas))
+	}
+	w.pipCache = w.pipCache[:len(w.areas)]
+	for i := range w.pipCache {
+		w.pipCache[i] = w.pipOf(i)
 	}
 }
 
@@ -598,6 +625,7 @@ func (w *World) Step() {
 	pprof.Do(ctx, phaseLabelSets[phaseSpawn], func(context.Context) {
 		w.spawnArrivals(dt)
 		w.resumeSuspended()
+		w.applyWithholding()
 	})
 	if instrumented {
 		phaseStart = w.observePhase(phaseSpawn, phaseStart)
@@ -923,7 +951,11 @@ func (w *World) cruise(s int32, dt float64, rng *rand.Rand, o *shardOps) bool {
 
 // settleFare charges the passenger the upfront fare for the trip estimate
 // and splits it between the driver (80%) and the platform (20%).
-func (w *World) settleFare(slot int32, pickup, dest geo.Point, multiplier float64, area int) {
+// surgePriced marks trips that carry the dynamic price signal (surgeable
+// product, full-fare booking): under an additive engine those trips are
+// priced base + pip, with the driver keeping the entire pip on top of the
+// usual 80% of base — the Garg & Nazerzadeh payout structure.
+func (w *World) settleFare(slot int32, pickup, dest geo.Point, multiplier float64, area int, surgePriced bool) {
 	var meters, seconds float64
 	if w.road != nil {
 		// Upfront pricing on the actual street route under current
@@ -934,7 +966,18 @@ func (w *World) settleFare(slot int32, pickup, dest geo.Point, multiplier float6
 		meters = geo.Dist(pickup, dest) * manhattanFactor
 		seconds = meters/StreetSpeed(w.now) + tripStopSeconds
 	}
-	fare := w.fares[core.VehicleType(w.fleet.typ[slot])].Fare(meters, seconds, multiplier)
+	sched := w.fares[core.VehicleType(w.fleet.typ[slot])]
+	if w.pipOf != nil && surgePriced && area >= 0 {
+		base := sched.Fare(meters, seconds, 1)
+		pip := w.pipCache[area]
+		fare := base + pip
+		w.FareVolume += fare
+		w.CommissionUSD += base * CommissionRate
+		w.fleet.earned[slot] += base*(1-CommissionRate) + pip
+		w.AreaFares[area] += fare
+		return
+	}
+	fare := sched.Fare(meters, seconds, multiplier)
 	w.FareVolume += fare
 	w.CommissionUSD += fare * CommissionRate
 	w.fleet.earned[slot] += fare * (1 - CommissionRate)

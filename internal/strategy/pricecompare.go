@@ -47,6 +47,23 @@ func (c *Comparison) CheapestQuote() *Quote {
 	return &c.Quotes[c.Cheapest]
 }
 
+// CheapestTied reports whether at least two services quoted exactly the
+// winning price — a round no single service actually won. Scoreboards
+// should count such rounds as ties rather than crediting the entry-order
+// winner Cheapest falls back to.
+func (c *Comparison) CheapestTied() bool {
+	if c.Cheapest < 0 {
+		return false
+	}
+	best := c.Quotes[c.Cheapest].USD
+	for i, q := range c.Quotes {
+		if i != c.Cheapest && q.USD == best {
+			return true
+		}
+	}
+	return false
+}
+
 // Savings returns how much the cheapest quote undercuts the next-best
 // one (0 with fewer than two quotes).
 func (c *Comparison) Savings() float64 {

@@ -62,6 +62,12 @@ type Config struct {
 	// (0.25), which §3.3 mentions as the pricing the authors could not
 	// ethically measure.
 	QuantStep float64
+	// KeepHistory records the ground-truth multiplier series per area,
+	// one snapshot per completed update, in Engine.History. Experiments
+	// and tests turn it on; a long-running uberd leaves it off — the
+	// history grows by one slice per 5-minute update forever, a slow leak
+	// on a server that never reads it.
+	KeepHistory bool
 }
 
 // Engine computes and serves surge multipliers for one world.
@@ -82,7 +88,8 @@ type Engine struct {
 	view *View
 
 	// History records the ground-truth multiplier series per area, one
-	// entry per completed update, for tests and ablations.
+	// entry per completed update, for tests and ablations. Empty unless
+	// Config.KeepHistory is set.
 	History [][]float64
 
 	// nil-safe metric handles; zero until Instrument is called.
@@ -166,28 +173,29 @@ func (e *Engine) Step(now int64) {
 	}
 }
 
-// update recomputes every area's multiplier for the interval starting at
-// boundary.
-func (e *Engine) update(boundary int64) {
-	updateStart := time.Now()
-	p := e.cfg.Params
-	copy(e.prev, e.cur)
-	snapshot := make([]float64, len(e.cur))
+// rawPressures computes every area's raw — pre-smoothing, pre-quantized —
+// surge signal for one interval: the trailing window's utilization and EWT
+// features folded through the profile params, with the interval's
+// stochastic demand shocks drawn from rng, capped at MaxMultiplier. Shared
+// by the multiplicative and additive engines so both regimes price the
+// same underlying market signal. The draw order — one city-wide shock,
+// then one local shock per area — is part of the determinism contract.
+func rawPressures(w *sim.World, p sim.SurgeParams, rng *rand.Rand, out []float64) {
 	// Demand fluctuations have a city-wide component (weather, events,
 	// transit failures) and an area-local one; NoiseCorr sets the mix.
-	cityShock := e.rng.NormFloat64()
+	cityShock := rng.NormFloat64()
 	corr := p.NoiseCorr
 	local := math.Sqrt(math.Max(0, 1-corr*corr))
 
 	// First pass: each area's raw utilization and EWT feature. The city
 	// pressure is capacity-weighted (total demand over total capacity) so
 	// small areas' noisy ratios don't distort it.
-	utils := make([]float64, len(e.cur))
-	ewts := make([]float64, len(e.cur))
+	utils := make([]float64, len(out))
+	ewts := make([]float64, len(out))
 	var cityLoad, cityCap float64
-	for a := range e.cur {
-		st := e.world.ConsumeWindow(a)
-		window := float64(st.Ticks) * float64(e.world.TickSeconds())
+	for a := range out {
+		st := w.ConsumeWindow(a)
+		window := float64(st.Ticks) * float64(w.TickSeconds())
 		if window <= 0 {
 			window = UpdatePeriod
 		}
@@ -200,14 +208,14 @@ func (e *Engine) update(boundary int64) {
 	}
 	cityUtil := cityLoad / math.Max(cityCap, 1)
 
-	for a := range e.cur {
+	for a := range out {
 		// Area coupling pools each area's pressure with the city mean
 		// (§6: SF's areas move together far more than Manhattan's).
 		util := (1-p.AreaCoupling)*utils[a] + p.AreaCoupling*cityUtil
 		// Stochastic demand fluctuation: the short window sees a noisy
 		// sample of the true intensity. This is what makes most surges
 		// last a single interval (Fig 13).
-		shock := corr*cityShock + local*e.rng.NormFloat64()
+		shock := corr*cityShock + local*rng.NormFloat64()
 		util *= 1 + p.Noise*shock
 
 		raw := 1.0
@@ -220,13 +228,27 @@ func (e *Engine) update(boundary int64) {
 		if raw > p.MaxMultiplier {
 			raw = p.MaxMultiplier
 		}
+		out[a] = raw
+	}
+}
+
+// update recomputes every area's multiplier for the interval starting at
+// boundary.
+func (e *Engine) update(boundary int64) {
+	updateStart := time.Now()
+	copy(e.prev, e.cur)
+	raws := make([]float64, len(e.cur))
+	rawPressures(e.world, e.cfg.Params, e.rng, raws)
+	for a := range e.cur {
+		raw := raws[a]
 		if s := e.cfg.Smoothing; s > 0 {
 			raw = s*e.prev[a] + (1-s)*raw
 		}
 		e.cur[a] = QuantizeStep(raw, e.cfg.QuantStep)
-		snapshot[a] = e.cur[a]
 	}
-	e.History = append(e.History, snapshot)
+	if e.cfg.KeepHistory {
+		e.History = append(e.History, append([]float64(nil), e.cur...))
+	}
 	e.scheduleSwitches(boundary)
 	e.rebuildView()
 
@@ -347,9 +369,10 @@ func (e *Engine) jitterWindow(clientID string, boundary int64) (start, dur int64
 	return jitterWindowFor(e.cfg.Seed, e.cfg.JitterProb, clientID, boundary)
 }
 
-// Runner couples a world and its engine and advances them together; it is
-// the minimal "backend main loop" that cmd/uberd and the experiment
-// harness drive.
+// Runner couples a world and its multiplicative engine and advances them
+// together; it is the minimal "backend main loop" the experiment harness
+// and the surge tests drive. Code that must be engine-agnostic steps a
+// Pricer directly (w.Step() then p.Step(w.Now())), as api.Service does.
 type Runner struct {
 	World  *sim.World
 	Engine *Engine

@@ -11,7 +11,7 @@ import (
 func newRunner(t testing.TB, p *sim.CityProfile, seed int64, jitter bool) *Runner {
 	t.Helper()
 	w := sim.NewWorld(sim.Config{Profile: p, Seed: seed})
-	return NewRunner(w, Config{Params: p.Surge, Seed: seed, Jitter: jitter})
+	return NewRunner(w, Config{Params: p.Surge, Seed: seed, Jitter: jitter, KeepHistory: true})
 }
 
 func TestQuantize(t *testing.T) {
@@ -45,7 +45,7 @@ func TestQuantizeStepLyft(t *testing.T) {
 func TestEngineWithPrimeTimeGrid(t *testing.T) {
 	p := sim.SanFrancisco()
 	w := sim.NewWorld(sim.Config{Profile: p, Seed: 3})
-	e := New(w, Config{Params: p.Surge, Seed: 3, QuantStep: 0.25})
+	e := New(w, Config{Params: p.Surge, Seed: 3, QuantStep: 0.25, KeepHistory: true})
 	r := &Runner{World: w, Engine: e}
 	r.RunUntil(8 * 3600)
 	for _, snap := range e.History {
@@ -80,6 +80,20 @@ func TestEngineUpdatesOnFiveMinuteClock(t *testing.T) {
 				t.Errorf("multiplier %v not quantized", m)
 			}
 		}
+	}
+}
+
+// TestHistoryOffByDefault is the regression test for the History leak: a
+// long-running engine (uberd) must not accumulate one snapshot per
+// 5-minute update forever. History records only under Config.KeepHistory,
+// which experiments and tests set and uberd does not.
+func TestHistoryOffByDefault(t *testing.T) {
+	p := sim.SanFrancisco()
+	w := sim.NewWorld(sim.Config{Profile: p, Seed: 1})
+	r := NewRunner(w, Config{Params: p.Surge, Seed: 1})
+	r.RunUntil(3600)
+	if got := len(r.Engine.History); got != 0 {
+		t.Errorf("History grew to %d snapshots without KeepHistory", got)
 	}
 }
 

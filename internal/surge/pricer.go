@@ -1,0 +1,91 @@
+package surge
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Pricer is the pricing-engine contract the backend layers (api.Service,
+// cmd/uberd, the experiment harness) program against. A Pricer owns the
+// 5-minute update clock and per-area price state for one world, publishes
+// an immutable View for the lock-free query path, and emits SurgeChange
+// events when prices move.
+//
+// Implementations must keep three invariants the audit methodology and
+// the parallel simulator rely on:
+//
+//   - Determinism: every externally visible answer is a pure function of
+//     (Config.Seed, world history, clientID, time). Any incentive-response
+//     hooks installed into the sim must run in serial phases only, so
+//     TestStepWorkerInvariance holds at every worker count.
+//   - Floor: multipliers never fall below 1; an engine that prices in
+//     additive USD pips encodes them as effective multipliers ≥ 1.
+//   - API stream purity: jitter (the April 2015 bug) may only ever affect
+//     the client stream; APIMultiplier answers are never jittered.
+//
+// The three shipped engines: Mult2015 (the paper's §5 multiplicative
+// algorithm, the default), Additive (Garg & Nazerzadeh's driver surge
+// pips), and Withholding (Mult2015 plus Schröder et al.'s strategic
+// driver withholding below a personal threshold).
+type Pricer interface {
+	// Name identifies the engine ("mult2015", "additive", "withholding").
+	Name() string
+	// Step advances the engine to time now, recomputing prices at each
+	// 5-minute boundary. Call once per world tick, after world.Step.
+	Step(now int64)
+	// View returns the engine's current immutable read state.
+	View() *View
+	// Instrument wires the engine's metrics into reg.
+	Instrument(reg *obs.Registry)
+	// SetEventSink installs fn to receive a bus.KindSurgeChange event per
+	// area whose price moves at an update boundary; nil detaches.
+	SetEventSink(fn func(bus.Event))
+	// APIMultiplier is the multiplier the estimates/price API serves.
+	APIMultiplier(area int, now int64) float64
+	// ClientMultiplier is the multiplier the pingClient stream serves to
+	// one client (the only stream jitter may touch).
+	ClientMultiplier(clientID string, area int, now int64) float64
+	// InJitter reports whether the client is inside a jitter window.
+	InJitter(clientID string, now int64) bool
+	// CurrentMultiplier is the interval's ground-truth multiplier.
+	CurrentMultiplier(area int) float64
+	// PrevMultiplier is the previous interval's ground-truth multiplier.
+	PrevMultiplier(area int) float64
+}
+
+var (
+	_ Pricer = (*Engine)(nil)
+	_ Pricer = (*Additive)(nil)
+	_ Pricer = (*Withholding)(nil)
+)
+
+// Mult2015 is the paper's multiplicative surge algorithm — the engine
+// this package reverse-engineers in §5 and the default pricing regime.
+// The name aliases Engine so existing code and tests keep compiling.
+type Mult2015 = Engine
+
+// Name identifies the multiplicative 2015 engine.
+func (e *Engine) Name() string { return "mult2015" }
+
+// EngineNames lists the selectable pricing engines, default first.
+func EngineNames() []string { return []string{"mult2015", "additive", "withholding"} }
+
+// NewPricer builds the named pricing engine over the world and installs
+// it as the world's price provider. An empty name selects the default
+// mult2015 engine; an unknown name is an error (callers surface it at
+// flag-parse time).
+func NewPricer(w *sim.World, name string, cfg Config) (Pricer, error) {
+	switch name {
+	case "", "mult2015":
+		return New(w, cfg), nil
+	case "additive":
+		return NewAdditive(w, cfg), nil
+	case "withholding":
+		return NewWithholding(w, cfg), nil
+	default:
+		return nil, fmt.Errorf("surge: unknown pricing engine %q (want one of %v)", name, EngineNames())
+	}
+}

@@ -37,7 +37,7 @@ func TestSmoothingReducesVolatility(t *testing.T) {
 	run := func(smoothing float64) *Engine {
 		p := sim.SanFrancisco()
 		w := sim.NewWorld(sim.Config{Profile: p, Seed: 99})
-		e := New(w, Config{Params: p.Surge, Seed: 99, Smoothing: smoothing})
+		e := New(w, Config{Params: p.Surge, Seed: 99, Smoothing: smoothing, KeepHistory: true})
 		r := &Runner{World: w, Engine: e}
 		r.RunUntil(16 * 3600)
 		return e
@@ -72,7 +72,7 @@ func TestSmoothingStillTracksDemand(t *testing.T) {
 	// substantial fraction of the time.
 	p := sim.SanFrancisco()
 	w := sim.NewWorld(sim.Config{Profile: p, Seed: 3})
-	e := New(w, Config{Params: p.Surge, Seed: 3, Smoothing: 0.6})
+	e := New(w, Config{Params: p.Surge, Seed: 3, Smoothing: 0.6, KeepHistory: true})
 	r := &Runner{World: w, Engine: e}
 	r.RunUntil(12 * 3600)
 	surged, total := 0, 0
@@ -95,7 +95,7 @@ func TestSmoothingZeroIsIdentity(t *testing.T) {
 	run := func(smoothing float64) [][]float64 {
 		p := sim.Manhattan()
 		w := sim.NewWorld(sim.Config{Profile: p, Seed: 5})
-		e := New(w, Config{Params: p.Surge, Seed: 5, Smoothing: smoothing})
+		e := New(w, Config{Params: p.Surge, Seed: 5, Smoothing: smoothing, KeepHistory: true})
 		r := &Runner{World: w, Engine: e}
 		r.RunUntil(2 * 3600)
 		return e.History

@@ -1,0 +1,33 @@
+package surge
+
+import "repro/internal/sim"
+
+// Withholding is the 2015 multiplicative engine coupled to Schröder et
+// al.'s strategic driver response (*Anomalous supply shortages from
+// dynamic pricing in on-demand mobility*): each driver carries a
+// personal surge threshold, and when the posted multiplier in their area
+// sits below it, they may go offline for a spell rather than accept
+// low-priced work — withholding supply exactly when the multiplier
+// should be clearing the market.
+//
+// Pricing is bit-identical to Mult2015 (same Config, same RNG stream,
+// same View and jitter semantics); only the supply side changes, through
+// the incentive-response hook installed into the world's serial spawn
+// phase (sim.WithholdingConfig). Withheld drivers leave through the
+// same suspension machinery as regulator force-offline events, so they
+// show up as DriverSuspend events and in TotalSuspended/TotalWithheld.
+type Withholding struct {
+	*Engine
+}
+
+// NewWithholding builds a mult2015-priced engine and arms the world's
+// strategic-withholding response with the default Schröder et al.
+// parameters.
+func NewWithholding(w *sim.World, cfg Config) *Withholding {
+	e := &Withholding{Engine: New(w, cfg)}
+	w.SetWithholding(sim.DefaultWithholding())
+	return e
+}
+
+// Name identifies the withholding engine.
+func (e *Withholding) Name() string { return "withholding" }
